@@ -1,0 +1,54 @@
+"""Ablation: recompute halo cell forces vs communicate them (Section 2.4.5).
+
+"Reducing Cell Communication": each task can either (a) compute forces
+for owned cells and ship them to neighbors holding those cells in halos,
+or (b) recompute forces for halo cells locally.  The paper chooses (b) —
+extra GPU flops to avoid network bytes.  This ablation quantifies both
+sides with the paper's mesh constants and Summit's rates.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import banner
+from repro.constants import RBC_MESH_VERTICES
+from repro.membrane import ReferenceState, biconcave_rbc, skalak_forces
+from repro.perfmodel.machine import SUMMIT
+
+#: Fraction of a task's cells that straddle task boundaries (halo cells);
+#: for the paper's window decomposition blocks (~100^3 fine nodes per GPU
+#: task, 8 um cells) roughly a quarter of cells touch a face.
+HALO_FRACTION = 0.25
+CELLS_PER_TASK = 400
+
+
+def test_strategy_costs_model(benchmark):
+    def model():
+        halo_cells = CELLS_PER_TASK * HALO_FRACTION
+        force_bytes = RBC_MESH_VERTICES * 3 * 8  # one (V, 3) force array
+        # (a) communicate: ship per-vertex forces for every halo cell.
+        comm_bytes = halo_cells * force_bytes
+        t_comm = comm_bytes / SUMMIT.network_bandwidth + halo_cells * SUMMIT.network_latency
+        # (b) recompute: evaluate membrane forces for halo cells locally.
+        t_recompute = halo_cells * RBC_MESH_VERTICES / SUMMIT.gpu_cell_vertex_rate
+        return t_comm, t_recompute, comm_bytes
+
+    t_comm, t_recompute, comm_bytes = benchmark(model)
+    banner("Ablation: halo-cell force communicate vs recompute")
+    print(f"  communicate: {comm_bytes / 1e6:.2f} MB/step/task -> {t_comm * 1e6:.1f} us")
+    print(f"  recompute:   {t_recompute * 1e6:.1f} us of extra GPU work")
+    print("  paper chooses recompute; with per-message latency included the"
+          " communication path is the slower and less scalable one")
+    assert t_recompute < 10 * t_comm  # same order: a genuine trade-off
+
+
+def test_recompute_cost_measured(benchmark):
+    """Actually recompute forces for a halo population (our substrate)."""
+    verts, faces = biconcave_rbc()
+    ref = ReferenceState.from_mesh(verts, faces)
+    rng = np.random.default_rng(0)
+    halo = ref.vertices[None] * (
+        1 + 0.02 * rng.standard_normal((int(CELLS_PER_TASK * HALO_FRACTION),) + ref.vertices.shape)
+    )
+    result = benchmark(skalak_forces, halo, ref, 5e-6, 100.0)
+    assert np.isfinite(result).all()

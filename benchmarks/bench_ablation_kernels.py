@@ -1,0 +1,71 @@
+"""Ablation: IBM delta-kernel choice (cosine4 vs peskin4 vs linear2).
+
+The paper uses the 4-point cosine approximation of the Dirac delta
+(Section 2.3).  This ablation quantifies the trade-off: per-step cost of
+interpolation+spreading, interpolation smoothness (error on a linear
+field), and force-spreading locality.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import banner
+from repro.ibm import KERNELS, interpolate, spread
+
+
+def _field_and_markers(n=32, n_markers=2000, seed=0):
+    rng = np.random.default_rng(seed)
+    field = rng.standard_normal((3, n, n, n))
+    pos = rng.uniform(3.0, n - 4.0, size=(n_markers, 3))
+    forces = rng.standard_normal((n_markers, 3))
+    return field, pos, forces
+
+
+@pytest.mark.parametrize("kernel", list(KERNELS))
+def test_kernel_roundtrip_cost(benchmark, kernel):
+    field, pos, forces = _field_and_markers()
+    out = np.zeros_like(field)
+
+    def roundtrip():
+        out[:] = 0.0
+        spread(forces, pos, out, kernel)
+        return interpolate(field, pos, kernel)
+
+    benchmark(roundtrip)
+
+
+@pytest.mark.parametrize("kernel", list(KERNELS))
+def test_kernel_linear_field_accuracy(benchmark, kernel):
+    n = 24
+    field = np.zeros((3, n, n, n))
+    x = np.arange(n)
+    field[0] = 0.01 * x[:, None, None]
+    rng = np.random.default_rng(1)
+    pos = rng.uniform(3.0, n - 4.0, size=(500, 3))
+
+    vals = benchmark(interpolate, field, pos, kernel)
+    err = np.abs(vals[:, 0] - 0.01 * pos[:, 0]).max()
+    print(f"\n  {kernel}: max interpolation error on linear field {err:.2e}")
+    if kernel == "linear2":
+        assert err < 1e-12  # exact for linear fields
+    else:
+        assert err < 5e-4  # smooth 4-pt kernels trade exactness for support
+
+
+def test_kernel_spreading_support(benchmark):
+    """Wider kernels spread one point force over more lattice sites."""
+
+    def measure():
+        counts = {}
+        for name in KERNELS:
+            out = np.zeros((3, 16, 16, 16))
+            spread(np.array([[1.0, 0, 0]]), np.array([[8.2, 8.4, 8.6]]), out, name)
+            counts[name] = int((np.abs(out[0]) > 1e-15).sum())
+        return counts
+
+    counts = benchmark.pedantic(measure, rounds=1, iterations=1)
+    banner("Ablation: delta-kernel footprint (lattice sites per marker)")
+    for name, c in counts.items():
+        print(f"  {name}: {c} sites")
+    assert counts["linear2"] < counts["cosine4"]
+    assert counts["cosine4"] <= 64

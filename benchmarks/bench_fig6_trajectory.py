@@ -1,0 +1,84 @@
+"""Fig. 6 + Section 3.3: APR vs eFSI CTC trajectory and cost.
+
+Runs matched APR and eFSI replicas of the expanding-channel margination
+experiment over the same physical time, compares radial-displacement
+curves (Fig. 6D), and reports the computational saving (Section 3.3:
+'over 10x' node-hours at paper scale; here the wall-clock and
+explicit-RBC-count ratios at toy scale plus the calibrated model ratio).
+
+REPRO_FULL=1 runs multiple seeds (the paper uses 8 replicas, Fig. 6C).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from conftest import FULL, banner
+from repro.analytics import radial_displacement, trajectory_rms_difference
+from repro.experiments.expanding_channel import (
+    ChannelParams,
+    run_expanding_channel_apr,
+    run_expanding_channel_efsi,
+)
+from repro.perfmodel.costmodel import node_hour_ratio
+
+SEEDS = (0, 1, 2) if FULL else (0,)
+EFSI_STEPS = 1200 if FULL else 250
+
+
+def _params():
+    return ChannelParams(rbc_subdivisions=2)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_fig6_trajectory_pair(benchmark, seed):
+    params = _params()
+
+    def run_pair():
+        t0 = time.perf_counter()
+        efsi = run_expanding_channel_efsi(seed=seed, params=params, steps=EFSI_STEPS)
+        t_efsi = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        apr = run_expanding_channel_apr(
+            seed=seed, params=params, steps=EFSI_STEPS // params.refinement
+        )
+        t_apr = time.perf_counter() - t0
+        return efsi, apr, t_efsi, t_apr
+
+    efsi, apr, t_efsi, t_apr = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+
+    banner(f"Fig. 6 seed {seed}: APR vs eFSI")
+    r_e = radial_displacement(efsi.trajectory)
+    r_a = radial_displacement(apr.trajectory)
+    print(f"  eFSI: {efsi.n_rbcs} RBCs, z {efsi.trajectory[0, 2] * 1e6:.1f} -> "
+          f"{efsi.trajectory[-1, 2] * 1e6:.1f} um, r {r_e[0] * 1e6:.2f} -> "
+          f"{r_e[-1] * 1e6:.2f} um, wall {t_efsi:.0f}s")
+    print(f"  APR : {apr.n_rbcs} RBCs, z {apr.trajectory[0, 2] * 1e6:.1f} -> "
+          f"{apr.trajectory[-1, 2] * 1e6:.1f} um, r {r_a[0] * 1e6:.2f} -> "
+          f"{r_a[-1] * 1e6:.2f} um, wall {t_apr:.0f}s "
+          f"({apr.extras['window_moves']} window moves)")
+
+    # Fig. 6D: the two radial trajectories agree within ~an RBC radius
+    # over the shared axial range (they are not expected to match exactly
+    # — differing RBC configurations shift individual paths, Fig. 6C).
+    rms = trajectory_rms_difference(efsi.trajectory, apr.trajectory)
+    print(f"  RMS radial difference: {rms * 1e6:.3f} um")
+    assert rms < 0.6 * params.rbc_diameter
+
+    # Axial progress over the same physical time agrees (same flow).
+    dz_e = efsi.trajectory[-1, 2] - efsi.trajectory[0, 2]
+    dz_a = apr.trajectory[-1, 2] - apr.trajectory[0, 2]
+    if dz_e > 1e-7:
+        assert np.isclose(dz_a, dz_e, rtol=0.5)
+
+    # Section 3.3 cost story.
+    print(f"  toy-scale wall-clock saving: {t_efsi / max(t_apr, 1e-9):.1f}x; "
+          f"explicit-RBC ratio {efsi.n_rbcs / max(apr.n_rbcs, 1):.1f}x")
+    print(f"  paper-scale node-hour ratio (6x36 vs 22x120): "
+          f"{node_hour_ratio():.1f}x")
+
+
+def test_section33_node_hour_claim(benchmark):
+    ratio = benchmark(node_hour_ratio)
+    assert ratio > 10.0

@@ -1,0 +1,64 @@
+"""Table 3: cerebral-geometry memory, APR (<100 GB) vs eFSI (9.2 PB).
+
+Row-by-row reproduction of the paper's arithmetic (408 B/fluid point,
+51 kB/RBC) from the printed counts, plus a geometry-based recomputation
+of the window row from the 200 um window and 35% hematocrit.
+"""
+
+import numpy as np
+
+from conftest import banner
+from repro.perfmodel import (
+    fluid_points_for_volume,
+    rbc_count_for_volume,
+    table3_memory,
+)
+from repro.perfmodel.memory import apr_total_memory, efsi_total_memory
+
+PAPER_GB = {
+    "apr_window": (7.2, 1.48),
+    "apr_bulk": (64.4, 0.0),
+}
+PAPER_PB = {"efsi": (6.0, 3.2)}
+
+
+def test_table3_rows(benchmark):
+    table = benchmark(table3_memory)
+    banner("Table 3: cerebral memory footprints")
+    for name, (fluid_gb, rbc_gb) in PAPER_GB.items():
+        row = table[name]
+        print(f"  {name:11s}: fluid {row['fluid_bytes'] / 1e9:6.1f} GB "
+              f"(paper {fluid_gb}), RBC {row['rbc_bytes'] / 1e9:5.2f} GB "
+              f"(paper {rbc_gb})")
+        assert np.isclose(row["fluid_bytes"] / 1e9, fluid_gb, rtol=0.03)
+        assert np.isclose(row["rbc_bytes"] / 1e9, rbc_gb, atol=0.1)
+    efsi = table["efsi"]
+    print(f"  efsi       : fluid {efsi['fluid_bytes'] / 1e15:.2f} PB (paper 6.0), "
+          f"RBC {efsi['rbc_bytes'] / 1e15:.2f} PB (paper 3.2)")
+    assert np.isclose(efsi["fluid_bytes"] / 1e15, 6.0, rtol=0.02)
+    assert np.isclose(efsi["rbc_bytes"] / 1e15, 3.2, rtol=0.05)
+
+
+def test_table3_headline(benchmark):
+    table = benchmark(table3_memory)
+    apr = apr_total_memory(table)
+    efsi = efsi_total_memory(table)
+    print(f"\n  APR total {apr / 1e9:.1f} GB vs eFSI {efsi / 1e15:.2f} PB: "
+          f"{efsi / apr:.1e}x (paper: '5 orders of magnitude smaller')")
+    assert apr < 100e9
+    assert efsi / apr > 1e5
+
+
+def test_table3_window_row_from_geometry(benchmark):
+    """Recompute the window row from the 200 um / 0.75 um / 35% inputs."""
+
+    def recompute():
+        pts = fluid_points_for_volume((200e-6) ** 3, 0.75e-6)
+        rbcs = rbc_count_for_volume((200e-6) ** 3, 0.35)
+        return pts, rbcs
+
+    pts, rbcs = benchmark(recompute)
+    print(f"\n  window points {pts:.2e} (paper 1.76e7), RBCs {rbcs:.2e} "
+          f"(paper 2.9e4)")
+    assert np.isclose(pts, 1.76e7, rtol=0.15)
+    assert np.isclose(rbcs, 2.9e4, rtol=0.10)

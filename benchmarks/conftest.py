@@ -1,0 +1,25 @@
+"""Shared benchmark configuration.
+
+Benchmarks default to a *toy scale* that finishes in minutes on a laptop;
+set ``REPRO_FULL=1`` to run closer-to-paper parameter sweeps (tens of
+minutes to hours).  Every benchmark prints the table rows / figure series
+it regenerates, prefixed with the paper's reported values for comparison;
+EXPERIMENTS.md records a full paper-vs-measured table.
+"""
+
+import os
+
+import pytest
+
+FULL = os.environ.get("REPRO_FULL", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def full_scale() -> bool:
+    return FULL
+
+
+def banner(title: str) -> None:
+    print("\n" + "=" * 72)
+    print(title)
+    print("=" * 72)

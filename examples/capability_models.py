@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Capability and scaling models: Tables 2-3, Figs. 7-8 (instant).
+
+Prints the paper's hardware-bound results from the calibrated models:
+memory footprints for the cerebral geometry (Table 3), simulable fluid
+volumes on 256 Summit nodes (Table 2 / Fig. 1), strong and weak scaling
+curves (Figs. 7-8), and the Section 3.3 node-hour comparison.
+"""
+
+from repro.perfmodel import (
+    strong_scaling_curve,
+    table2_fluid_volumes,
+    table3_memory,
+    weak_scaling_curve,
+)
+from repro.perfmodel.costmodel import fig9_projection, node_hour_ratio
+from repro.perfmodel.memory import apr_total_memory, efsi_total_memory
+
+
+def main() -> None:
+    print("=== Table 2: fluid volume vs resources (256 Summit nodes) ===")
+    t2 = table2_fluid_volumes()
+    print(f"  APR window (0.5 um, {t2['gpu_count']} GPUs): "
+          f"{t2['apr_window_volume'] * 1e6:.2e} mL   (paper 4.91e-03)")
+    print(f"  APR bulk  (15 um, {t2['cpu_count']} CPUs): "
+          f"{t2['apr_bulk_volume'] * 1e6:8.1f} mL   (paper 41.0)")
+    print(f"  eFSI      (0.5 um, 256 nodes):  "
+          f"{t2['efsi_volume'] * 1e6:.2e} mL   (paper 4.98e-03)")
+
+    print("\n=== Table 3: cerebral geometry memory (APR vs eFSI) ===")
+    t3 = table3_memory()
+    for name, row in t3.items():
+        print(f"  {name:11s} fluid {row['fluid_bytes'] / 1e9:12.1f} GB   "
+              f"RBC {row['rbc_bytes'] / 1e9:12.2f} GB")
+    print(f"  APR total:  {apr_total_memory(t3) / 1e9:.1f} GB (paper: <100 GB)")
+    print(f"  eFSI total: {efsi_total_memory(t3) / 1e15:.2f} PB (paper: 9.2 PB)")
+
+    print("\n=== Fig. 7: strong scaling (10.5 mm cube, 0.65 mm window) ===")
+    for n, d in strong_scaling_curve().items():
+        print(f"  {n:4d} nodes: speedup {d['speedup']:5.2f}  "
+              f"(cpu {d['cpu'] * 1e3:7.1f} ms, comm {d['comm'] * 1e3:6.1f} ms)")
+    print("  paper: ~6x from 32 to 512 nodes")
+
+    print("\n=== Fig. 8: weak scaling (17e6 fluid points per node) ===")
+    for n, d in weak_scaling_curve().items():
+        print(f"  {n:4d} nodes: efficiency vs 8-node baseline "
+              f"{d['efficiency_vs_baseline']:5.3f}")
+    print("  paper: >=90% above 8 nodes; 1-4 nodes anomalously fast")
+
+    print("\n=== Section 3.3 / Fig. 9: cost comparisons ===")
+    print(f"  expanding channel, eFSI/APR node-hours: {node_hour_ratio():.1f}x "
+          "(paper: 'over 10x')")
+    proj = fig9_projection()
+    print(f"  cerebral projection: {proj['vessel_length_mm']:.1f} mm at "
+          f"{proj['mm_per_day']} mm/day = {proj['node_hours']:.0f} node-hours")
+
+
+if __name__ == "__main__":
+    main()

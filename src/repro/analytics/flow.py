@@ -1,0 +1,103 @@
+"""Flow diagnostics: flow rate, wall shear stress, dimensionless numbers.
+
+Post-processing utilities for the simulated fields — the quantities the
+paper lists as HARVEY outputs ("fluid profile in both regions, ...,
+the calculated pressure drop") plus the dimensionless numbers used to
+sanity-check toy-scale parameter choices against the physiological
+regime.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..lbm.grid import Grid
+from ..units import UnitSystem
+
+
+def flow_rate_through_plane(
+    grid: Grid,
+    units: UnitSystem,
+    u_lattice: np.ndarray,
+    axis: int = 2,
+    index: int | None = None,
+) -> float:
+    """Volumetric flow rate [m^3/s] through one lattice plane.
+
+    Integrates the axis-normal physical velocity over the fluid nodes of
+    the plane, each carrying one cell cross-section dx^2.
+    """
+    if index is None:
+        index = grid.shape[axis] // 2
+    sl: list = [slice(None)] * 3
+    sl[axis] = index
+    u_plane = u_lattice[(axis,) + tuple(sl)] * (units.dx / units.dt)
+    fluid = ~grid.solid[tuple(sl)]
+    return float(u_plane[fluid].sum()) * units.dx**2
+
+
+def mean_velocity(grid: Grid, units: UnitSystem, u_lattice: np.ndarray) -> np.ndarray:
+    """Mean physical velocity vector over the fluid nodes [m/s]."""
+    fluid = ~grid.solid
+    u = u_lattice[:, fluid] * (units.dx / units.dt)
+    return u.mean(axis=1)
+
+
+def wall_shear_stress_estimate(
+    mu: float, flow_rate: float, radius: float
+) -> float:
+    """Poiseuille wall shear stress tau_w = 4 mu Q / (pi R^3) [Pa]."""
+    if radius <= 0:
+        raise ValueError("radius must be positive")
+    return 4.0 * mu * flow_rate / (np.pi * radius**3)
+
+
+def reynolds_number(u: float, length: float, nu: float) -> float:
+    """Re = u L / nu."""
+    if nu <= 0:
+        raise ValueError("kinematic viscosity must be positive")
+    return u * length / nu
+
+
+def capillary_number(mu: float, shear_rate: float, radius: float, gs: float) -> float:
+    """Membrane capillary number Ca = mu gamma a / Gs.
+
+    The ratio of viscous to elastic membrane stresses; healthy RBCs in
+    arterioles sit around Ca ~ 0.1-1, which toy-scale runs should respect
+    for the deformation regime to carry over.
+    """
+    if gs <= 0:
+        raise ValueError("shear modulus must be positive")
+    return mu * shear_rate * radius / gs
+
+
+def mach_number_lattice(u_lattice: float) -> float:
+    """Lattice Mach number u / cs with cs = 1/sqrt(3).
+
+    Keep below ~0.1 for the weakly-compressible LBM regime.
+    """
+    return float(u_lattice) * np.sqrt(3.0)
+
+
+def velocity_profile(
+    grid: Grid,
+    units: UnitSystem,
+    u_lattice: np.ndarray,
+    axis_flow: int = 2,
+    axis_profile: int = 1,
+    fixed: dict[int, int] | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """1D physical velocity profile along one axis (Fig. 4C-style data).
+
+    Returns (positions [m], velocities [m/s]) of the flow component along
+    ``axis_profile``, with the remaining axes pinned to mid-domain (or the
+    indices provided via ``fixed``).
+    """
+    fixed = dict(fixed or {})
+    sl: list = [slice(None)] * 3
+    for d in range(3):
+        if d == axis_profile:
+            continue
+        sl[d] = fixed.get(d, grid.shape[d] // 2)
+    u = u_lattice[(axis_flow,) + tuple(sl)] * (units.dx / units.dt)
+    return grid.axis_coords(axis_profile), np.asarray(u)

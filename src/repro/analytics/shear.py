@@ -1,0 +1,85 @@
+"""Analytical solution for three-layer variable-viscosity Couette flow.
+
+Section 3.1 of the paper verifies the variable-viscosity coupling against
+shear flow through three stacked fluid layers (Eq. 8): layers 1 and 3 have
+viscosity mu1, the middle layer (spanned by the APR window) has mu2 with
+contrast lambda = mu2/mu1 < 1.  The bottom plate (y = 0) is at rest and the
+top plate (y = L) moves at U0 in +x.
+
+In steady planar Couette flow the shear stress sigma = mu_j du/dy is the
+same constant in every layer, so the velocity is piecewise linear:
+
+    sigma = U0 / (h1/mu1 + h2/mu2 + h3/mu3)
+    u_j(y) = u(bottom of layer j) + (sigma/mu_j) * (y - y_bottom_j)
+
+which is exactly Eq. 8's u_j = (alpha_j y + beta_j)/mu_j with a common
+alpha (the stress) and layer offsets beta_j.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def three_layer_shear_stress(
+    heights: tuple[float, float, float],
+    viscosities: tuple[float, float, float],
+    u_top: float,
+) -> float:
+    """Constant shear stress through the stacked layers."""
+    h = np.asarray(heights, dtype=np.float64)
+    mu = np.asarray(viscosities, dtype=np.float64)
+    if np.any(h <= 0) or np.any(mu <= 0):
+        raise ValueError("heights and viscosities must be positive")
+    return u_top / float((h / mu).sum())
+
+
+def three_layer_couette_profile(
+    y: np.ndarray,
+    heights: tuple[float, float, float],
+    viscosities: tuple[float, float, float],
+    u_top: float,
+) -> np.ndarray:
+    """Analytical u_x(y) for the three-layer Couette configuration (Eq. 8).
+
+    Parameters
+    ----------
+    y:
+        Wall-normal positions, 0 <= y <= sum(heights).
+    heights:
+        Layer thicknesses (h1, h2, h3) from the stationary plate up.
+    viscosities:
+        Dynamic viscosities (mu1, mu2, mu3).
+    u_top:
+        Speed of the top plate.
+    """
+    y = np.asarray(y, dtype=np.float64)
+    h = np.asarray(heights, dtype=np.float64)
+    mu = np.asarray(viscosities, dtype=np.float64)
+    sigma = three_layer_shear_stress(heights, viscosities, u_top)
+    y1 = h[0]
+    y2 = h[0] + h[1]
+    u1_top = sigma * h[0] / mu[0]
+    u2_top = u1_top + sigma * h[1] / mu[1]
+    u = np.where(
+        y < y1,
+        sigma * y / mu[0],
+        np.where(
+            y < y2,
+            u1_top + sigma * (y - y1) / mu[1],
+            u2_top + sigma * (y - y2) / mu[2],
+        ),
+    )
+    return u
+
+
+def l2_error_norm(simulated: np.ndarray, reference: np.ndarray) -> float:
+    """Relative L2 error norm, ||sim - ref||_2 / ||ref||_2 (Table 1)."""
+    sim = np.asarray(simulated, dtype=np.float64).ravel()
+    ref = np.asarray(reference, dtype=np.float64).ravel()
+    if sim.shape != ref.shape:
+        raise ValueError("shape mismatch between simulated and reference")
+    denom = np.linalg.norm(ref)
+    if denom == 0.0:
+        return float(np.linalg.norm(sim))
+    return float(np.linalg.norm(sim - ref) / denom)

@@ -1,0 +1,136 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Exposes the per-figure experiment drivers and capability models so a
+downstream user can regenerate any paper artifact without writing code:
+
+    python -m repro shear --lam 0.5 --ratio 5
+    python -m repro tube --hematocrit 0.2 --steps 200
+    python -m repro channel --method apr --steps 300
+    python -m repro tables
+    python -m repro scaling
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_shear(args: argparse.Namespace) -> int:
+    from .experiments.shear_layers import run_shear_layers
+
+    r = run_shear_layers(
+        lam=args.lam, n=args.ratio, ny_channel=args.ny, steps=args.steps
+    )
+    print(f"lambda={r.lam:.4f} n={r.n}: "
+          f"bulk L2 error {r.error_bulk:.4f}, window L2 error {r.error_window:.4f}")
+    if args.csv:
+        from .io import write_csv
+
+        write_csv(
+            args.csv,
+            ["y_m", "u_window"],
+            zip(r.y_window.tolist(), r.u_window.tolist()),
+        )
+        print(f"wrote window profile to {args.csv}")
+    return 0
+
+
+def _cmd_tube(args: argparse.Namespace) -> int:
+    from .experiments.tube_window import run_tube_window
+
+    r = run_tube_window(hematocrit=args.hematocrit, steps=args.steps)
+    print(f"target Ht {r.target_hematocrit:.2f}: final {r.hematocrit[-1]:.3f}")
+    print(f"mu_eff {r.mu_effective * 1e3:.3f} cP vs Pries {r.mu_pries * 1e3:.3f} cP")
+    print(f"cells {r.n_cells_final} (+{r.n_inserted}/-{r.n_removed})")
+    return 0
+
+
+def _cmd_channel(args: argparse.Namespace) -> int:
+    from .analytics import radial_displacement
+    from .experiments.expanding_channel import (
+        run_expanding_channel_apr,
+        run_expanding_channel_efsi,
+    )
+
+    runner = (
+        run_expanding_channel_apr if args.method == "apr" else run_expanding_channel_efsi
+    )
+    r = runner(seed=args.seed, steps=args.steps)
+    rad = radial_displacement(r.trajectory)
+    print(f"{r.method}: {r.n_rbcs} RBCs, z {r.trajectory[0, 2] * 1e6:.1f} -> "
+          f"{r.trajectory[-1, 2] * 1e6:.1f} um, "
+          f"r {rad[0] * 1e6:.2f} -> {rad[-1] * 1e6:.2f} um")
+    return 0
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    from .perfmodel import table2_fluid_volumes, table3_memory
+    from .perfmodel.memory import apr_total_memory, efsi_total_memory
+
+    t2 = table2_fluid_volumes()
+    print("Table 2 (mL): window %.3e | bulk %.1f | eFSI %.3e" % (
+        t2["apr_window_volume"] * 1e6,
+        t2["apr_bulk_volume"] * 1e6,
+        t2["efsi_volume"] * 1e6,
+    ))
+    t3 = table3_memory()
+    print("Table 3: APR %.1f GB | eFSI %.2f PB" % (
+        apr_total_memory(t3) / 1e9, efsi_total_memory(t3) / 1e15,
+    ))
+    return 0
+
+
+def _cmd_scaling(args: argparse.Namespace) -> int:
+    from .perfmodel import strong_scaling_curve, weak_scaling_curve
+
+    print("Fig. 7 strong scaling (speedup vs 32 nodes):")
+    for n, d in strong_scaling_curve().items():
+        print(f"  {n:4d}: {d['speedup']:.2f}")
+    print("Fig. 8 weak scaling (efficiency vs 8 nodes):")
+    for n, d in weak_scaling_curve().items():
+        print(f"  {n:4d}: {d['efficiency_vs_baseline']:.3f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="APR blood-flow reproduction experiments"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("shear", help="Table 1 / Fig. 4 shear verification")
+    p.add_argument("--lam", type=float, default=0.5)
+    p.add_argument("--ratio", type=int, default=2)
+    p.add_argument("--ny", type=int, default=12)
+    p.add_argument("--steps", type=int, default=1500)
+    p.add_argument("--csv", type=str, default=None)
+    p.set_defaults(func=_cmd_shear)
+
+    p = sub.add_parser("tube", help="Fig. 5 hematocrit maintenance")
+    p.add_argument("--hematocrit", type=float, default=0.2)
+    p.add_argument("--steps", type=int, default=100)
+    p.set_defaults(func=_cmd_tube)
+
+    p = sub.add_parser("channel", help="Fig. 6 expanding-channel trajectory")
+    p.add_argument("--method", choices=("apr", "efsi"), default="apr")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--steps", type=int, default=100)
+    p.set_defaults(func=_cmd_channel)
+
+    p = sub.add_parser("tables", help="Tables 2-3 capability arithmetic")
+    p.set_defaults(func=_cmd_tables)
+
+    p = sub.add_parser("scaling", help="Figs. 7-8 scaling curves")
+    p.set_defaults(func=_cmd_scaling)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

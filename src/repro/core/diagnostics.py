@@ -1,0 +1,85 @@
+"""APR run diagnostics: coupling health and window occupancy.
+
+Production moving-window runs need cheap online checks that the
+fine/coarse coupling and the cell population stay healthy — the Python
+counterparts of the monitoring a HARVEY campaign would log:
+
+* interface velocity mismatch between the two lattices (the coupled
+  fields must agree where they overlap);
+* density deviation inside the window (compressibility artifacts show up
+  here first when parameters drift out of the stable envelope);
+* per-region cell occupancy (Fig. 3A anatomy: insertion / on-ramp /
+  window-proper populations).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..lbm.collision import macroscopic
+from ..membrane.cell import CellKind
+from .window import Region
+
+
+def interface_velocity_mismatch(coupling) -> float:
+    """Max |u_fine - u_coarse| (lattice units) at coincident nodes.
+
+    Samples the coarse nodes that the coupling restricts (window
+    interior) and compares against the coincident fine nodes *before* the
+    next restriction would overwrite them — at a converged coupled state
+    the two lattices agree to interpolation accuracy.
+    """
+    if coupling._restrict_coarse is None:
+        return 0.0
+    cg = coupling.coarse.grid
+    fg = coupling.fine.grid
+    _, u_c = macroscopic(cg.f)
+    _, u_f = macroscopic(fg.f)
+    ci, cj, ck = coupling._restrict_coarse
+    fi, fj, fk = coupling._restrict_fine
+    diff = u_c[:, ci, cj, ck] - u_f[:, fi, fj, fk]
+    return float(np.abs(diff).max()) if diff.size else 0.0
+
+
+def window_density_deviation(sim) -> float:
+    """Max |rho - 1| over the window's fluid nodes."""
+    fg = sim.fine.grid
+    rho, _ = macroscopic(fg.f)
+    fluid = ~fg.solid
+    if not fluid.any():
+        return 0.0
+    return float(np.abs(rho[fluid] - 1.0).max())
+
+
+def region_cell_counts(sim) -> dict[str, int]:
+    """RBC counts per window region (Fig. 3A occupancy)."""
+    window = sim.window
+    counts = {"proper": 0, "onramp": 0, "insertion": 0, "outside": 0}
+    names = {
+        int(Region.PROPER): "proper",
+        int(Region.ONRAMP): "onramp",
+        int(Region.INSERTION): "insertion",
+        int(Region.OUTSIDE): "outside",
+    }
+    for cell in sim.cells.cells:
+        if cell.kind is not CellKind.RBC:
+            continue
+        region = int(window.classify(cell.centroid()[None])[0])
+        counts[names[region]] += 1
+    return counts
+
+
+def health_report(sim) -> dict[str, float]:
+    """One-call health snapshot of an APRSimulation."""
+    counts = region_cell_counts(sim)
+    return {
+        "interface_velocity_mismatch": interface_velocity_mismatch(sim.coupling),
+        "window_density_deviation": window_density_deviation(sim),
+        "window_hematocrit": sim.window_hematocrit(),
+        "cells_proper": float(counts["proper"]),
+        "cells_onramp": float(counts["onramp"]),
+        "cells_insertion": float(counts["insertion"]),
+        "cells_outside": float(counts["outside"]),
+        "window_moves": float(len(sim.move_reports)),
+        "time": sim.time,
+    }

@@ -1,0 +1,131 @@
+"""Moving the window with its resolved cells (Section 2.4.3 / Fig. 3B).
+
+When the CTC nears the window boundary the window is relocated to
+re-center it.  To avoid re-initializing a full load of undeformed cells:
+
+1. cells are sorted into the **capture region** — the interior
+   (proper + on-ramp) box of the *new* window position, whose boundary by
+   construction aligns with the new insertion shell's inner edge — and
+   the rest of the window;
+2. every window cell is deep-copied and the copies are shifted by the
+   window displacement; copies landing in the **fill region** (new
+   interior minus capture region) are kept, so the fill volume receives
+   already-equilibrated, deformed cell shapes rather than fresh spheres;
+3. cells outside the new window are removed, overlaps are resolved
+   deterministically by global ID, and the insertion shell is re-seeded
+   by the hematocrit controller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..fsi.cell_manager import CellManager
+from ..fsi.subgrid import UniformSubgrid
+from ..membrane.cell import Cell, CellKind
+from .window import Window
+
+
+def classify_for_move(
+    cells: list[Cell], old_window: Window, new_window: Window
+) -> tuple[list[Cell], list[Cell]]:
+    """Split window cells into (capture, rest) for a pending move.
+
+    The capture region is the interior box of the new window: cells
+    already equilibrated around the CTC that will be preserved in place.
+    """
+    lo_cap, hi_cap = new_window.interior_bounds()
+    capture: list[Cell] = []
+    rest: list[Cell] = []
+    for cell in cells:
+        c = cell.centroid()
+        if np.all(c >= lo_cap) and np.all(c <= hi_cap):
+            capture.append(cell)
+        else:
+            rest.append(cell)
+    return capture, rest
+
+
+@dataclass
+class MoveReport:
+    """Bookkeeping from one window move (used by tests and EXPERIMENTS)."""
+
+    displacement: np.ndarray
+    n_captured: int
+    n_filled: int
+    n_removed: int
+    n_inserted: int
+
+
+class WindowMover:
+    """Executes the capture/fill cell relocation for a window move."""
+
+    def __init__(self, overlap_cutoff: float = 0.5e-6):
+        self.overlap_cutoff = overlap_cutoff
+
+    def move_cells(
+        self,
+        manager: CellManager,
+        old_window: Window,
+        new_window: Window,
+        protect: set[int] = frozenset(),
+    ) -> MoveReport:
+        """Relocate the RBC population for a window move.
+
+        ``protect`` lists global IDs never copied or removed (the CTC).
+        Captured cells are untouched; fill-region cells are deep copies of
+        equilibrated window cells shifted by the window displacement;
+        everything else inside the old window is dropped.  Insertion-shell
+        re-seeding is the caller's job (the hematocrit controller runs
+        right after the move).
+        """
+        displacement = new_window.center - old_window.center
+        rbcs = [
+            c for c in manager.cells
+            if c.kind is CellKind.RBC and c.global_id not in protect
+        ]
+        capture, rest = classify_for_move(rbcs, old_window, new_window)
+        capture_ids = {c.global_id for c in capture}
+
+        # Subgrid over kept (captured + protected) cells for overlap checks.
+        occupied = UniformSubgrid(cell_size=self.overlap_cutoff)
+        for cell in manager.cells:
+            if cell.global_id in capture_ids or cell.global_id in protect:
+                occupied.insert(cell.vertices, cell.global_id)
+
+        lo_int, hi_int = new_window.interior_bounds()
+        lo_cap, hi_cap = new_window.interior_bounds()
+
+        # Deep-copy all old-window cells, shift into the new frame, keep
+        # the ones that land in the fill region (interior minus capture).
+        n_filled = 0
+        fills: list[Cell] = []
+        for cell in sorted(rbcs, key=lambda c: c.global_id):
+            clone = cell.copy(new_id=manager.allocate_id())
+            clone.translate(displacement)
+            c = clone.centroid()
+            if not (np.all(c >= lo_int) and np.all(c <= hi_int)):
+                continue
+            # Skip clones overlapping captured/earlier-filled cells.
+            if occupied.query_labels_near(clone.vertices, self.overlap_cutoff):
+                continue
+            fills.append(clone)
+            occupied.insert(clone.vertices, clone.global_id)
+            n_filled += 1
+
+        # Remove old cells that were not captured.
+        doomed = [c.global_id for c in rest]
+        for gid in doomed:
+            manager.remove(gid)
+        for clone in fills:
+            manager.add(clone)
+
+        return MoveReport(
+            displacement=displacement,
+            n_captured=len(capture),
+            n_filled=n_filled,
+            n_removed=len(doomed),
+            n_inserted=0,
+        )

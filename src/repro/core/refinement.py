@@ -1,0 +1,287 @@
+"""Fine/coarse lattice coupling operators (Section 2.4.1 of the paper).
+
+The fine window is embedded in the coarse bulk lattice with its origin on
+a coarse node and an integer spacing ratio ``n`` (acoustic scaling: the
+fine grid takes ``n`` sub-steps per coarse step, and lattice velocities
+are continuous across the interface).
+
+Each coupled coarse step performs:
+
+1. save the coarse macroscopic + non-equilibrium state (time t),
+2. advance the coarse lattice one step (time t+1),
+3. for each of the ``n`` fine sub-steps, impose the fine boundary shell
+   from the coarse state interpolated trilinearly in space and linearly
+   in time, with the non-equilibrium part rescaled by tau_f / (n tau_c)
+   (which carries the viscosity contrast through Eq. 7), then advance the
+   fine lattice (including its FSI, when cells are present),
+4. restrict the fine solution back onto interior coarse nodes (rescale
+   f^neq by the inverse factor), closing the two-way coupling.
+
+This is the Dupuis-Chopard refinement scheme extended with the paper's
+multi-viscosity tau relation; stress continuity across the interface is
+maintained because the rescaled non-equilibrium populations encode the
+deviatoric stress on either side.
+
+Windows may span the full domain along periodic axes (``periodic_axes``),
+which the three-layer Couette verification of Section 3.1 uses: the
+window covers all of the middle viscosity layer, with ghost coupling only
+on its +/-y faces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ibm.coupling import interpolate
+from ..lbm.collision import equilibrium, macroscopic
+from ..lbm.grid import Grid
+from ..lbm.lattice import D3Q19
+from .viscosity import (
+    stress_match_scale_to_coarse,
+    stress_match_scale_to_fine,
+)
+
+
+def trilinear(
+    field: np.ndarray, frac_coords: np.ndarray, mode: str = "clip"
+) -> np.ndarray:
+    """Trilinear interpolation of a (C, nx, ny, nz) or (nx, ny, nz) field.
+
+    ``frac_coords`` are fractional lattice indices, shape (N, 3); returns
+    (N, C) or (N,).  Reuses the 2-point IBM kernel machinery.
+    """
+    return interpolate(field, frac_coords, kernel="linear2", mode=mode)
+
+
+def _equilibrium_points(rho: np.ndarray, u: np.ndarray) -> np.ndarray:
+    """f^eq at scattered points: rho (N,), u (N, 3) -> (19, N)."""
+    rho3 = rho.reshape(-1, 1, 1)
+    u3 = np.moveaxis(u, -1, 0).reshape(3, -1, 1, 1)
+    feq = equilibrium(rho3, u3)
+    return feq[:, :, 0, 0]
+
+
+class RefinedRegion:
+    """Two-way coupling between a coarse solver and a fine window stepper.
+
+    Parameters
+    ----------
+    coarse:
+        Object exposing ``grid`` (:class:`Grid`) and ``step()`` — normally
+        a :class:`repro.lbm.solver.LBMSolver`.
+    fine:
+        Object exposing ``grid`` and ``step()`` — an
+        :class:`repro.lbm.solver.LBMSolver` for fluid-only windows or a
+        :class:`repro.fsi.stepper.FSIStepper` for cell-laden windows.
+    n:
+        Integer coarse-to-fine spacing ratio.
+    periodic_axes:
+        Axes along which both lattices are periodic and the window spans
+        the whole domain (fine shape = n * coarse shape there, no ghost
+        faces).  Non-periodic axes need fine shape = n*W + 1 with the
+        window strictly interior to the coarse grid.
+    """
+
+    def __init__(
+        self,
+        coarse,
+        fine,
+        n: int,
+        periodic_axes: tuple[int, ...] = (),
+        restriction_margin: int = 2,
+    ) -> None:
+        self.coarse = coarse
+        self.fine = fine
+        self.n = int(n)
+        self.periodic_axes = tuple(periodic_axes)
+        self.restriction_margin = int(restriction_margin)
+        cg: Grid = coarse.grid
+        fg: Grid = fine.grid
+        if self.n < 2:
+            raise ValueError("refinement ratio must be >= 2")
+        ratio = cg.spacing / fg.spacing
+        if abs(ratio - self.n) > 1e-9 * self.n:
+            raise ValueError(
+                f"grid spacings imply ratio {ratio}, expected n={self.n}"
+            )
+        rel = (fg.origin - cg.origin) / cg.spacing
+        self._i0 = np.round(rel).astype(np.int64)
+        if np.max(np.abs(rel - self._i0)) > 1e-6:
+            raise ValueError("fine window origin must coincide with a coarse node")
+        self._w = np.zeros(3, dtype=np.int64)  # coarse cells spanned per axis
+        for d in range(3):
+            if d in self.periodic_axes:
+                if fg.shape[d] != self.n * cg.shape[d]:
+                    raise ValueError(
+                        f"periodic axis {d}: fine shape must be n * coarse shape"
+                    )
+                if self._i0[d] != 0:
+                    raise ValueError(f"periodic axis {d}: window offset must be 0")
+                self._w[d] = cg.shape[d]
+            else:
+                if (fg.shape[d] - 1) % self.n != 0:
+                    raise ValueError(
+                        f"axis {d}: fine shape must be n*W+1 to align with coarse nodes"
+                    )
+                self._w[d] = (fg.shape[d] - 1) // self.n
+                hi = self._i0[d] + self._w[d]
+                if self._i0[d] < 1 or hi > cg.shape[d] - 2:
+                    raise ValueError(
+                        f"axis {d}: window must be strictly interior to the coarse grid"
+                    )
+        self._interp_mode = "wrap" if self.periodic_axes else "clip"
+        if isinstance(fg.tau, np.ndarray):
+            raise ValueError("the fine window must have a uniform tau")
+        self._build_ghost_shell()
+        self._build_restriction()
+        self._state_prev: tuple | None = None
+        self._state_next: tuple | None = None
+
+    # ------------------------------------------------------------------
+    def _build_ghost_shell(self) -> None:
+        """Fine boundary-shell node indices and their coarse frac coords."""
+        fg = self.fine.grid
+        mask = np.zeros(fg.shape, dtype=bool)
+        for d in range(3):
+            if d in self.periodic_axes:
+                continue
+            sl_lo = [slice(None)] * 3
+            sl_hi = [slice(None)] * 3
+            sl_lo[d] = 0
+            sl_hi[d] = fg.shape[d] - 1
+            mask[tuple(sl_lo)] = True
+            mask[tuple(sl_hi)] = True
+        mask &= ~fg.solid
+        idx = np.argwhere(mask)
+        self._ghost_idx = tuple(idx.T)
+        pos = fg.origin + fg.spacing * idx
+        cg = self.coarse.grid
+        self._ghost_coarse_frac = (pos - cg.origin) / cg.spacing
+        self._ghost_scale = self._scale_to_fine(self._ghost_coarse_frac)
+
+    def _build_restriction(self) -> None:
+        """Coarse interior nodes overwritten from coincident fine nodes.
+
+        The margin leaves a band of free coarse nodes inside the window
+        edge.  Two cells (rather than the one cell needed for valid fine
+        data) matter when the window boundary coincides with a viscosity
+        interface: the coarse lattice's own variable-tau dynamics resolve
+        the traction jump exactly, so the interface must stay in *free*
+        coarse nodes, with the fine solution pinning only the smooth
+        interior.
+        """
+        cg = self.coarse.grid
+        margin = self.restriction_margin
+        ranges = []
+        for d in range(3):
+            if d in self.periodic_axes:
+                ranges.append(np.arange(cg.shape[d]))
+            else:
+                lo = self._i0[d] + margin
+                hi = self._i0[d] + self._w[d] - margin
+                if hi < lo:
+                    self._restrict_coarse = None
+                    return
+                ranges.append(np.arange(lo, hi + 1))
+        ii, jj, kk = np.meshgrid(*ranges, indexing="ij")
+        cidx = np.stack([ii.ravel(), jj.ravel(), kk.ravel()], axis=1)
+        keep = ~cg.solid[cidx[:, 0], cidx[:, 1], cidx[:, 2]]
+        cidx = cidx[keep]
+        fidx = (cidx - self._i0) * self.n
+        self._restrict_coarse = tuple(cidx.T)
+        self._restrict_fine = tuple(fidx.T)
+        tau_c = cg.tau_at(cidx)
+        self._restrict_scale = stress_match_scale_to_coarse(
+            tau_c, self.fine.grid.tau
+        )
+
+    # ------------------------------------------------------------------
+    def _scale_to_fine(self, frac_coords: np.ndarray) -> np.ndarray:
+        """Per-point f^neq rescale factor coarse -> fine.
+
+        Traction continuity against the local coarse viscosity; see
+        :func:`repro.core.viscosity.stress_match_scale_to_fine`.
+        """
+        cg = self.coarse.grid
+        if isinstance(cg.tau, np.ndarray):
+            tau_c = trilinear(cg.tau, frac_coords, self._interp_mode)
+        else:
+            tau_c = np.full(len(np.atleast_2d(frac_coords)), float(cg.tau))
+        return stress_match_scale_to_fine(tau_c, self.fine.grid.tau)
+
+    def _coarse_state(self):
+        """(rho, u, f_neq) of the coarse grid right now."""
+        cg = self.coarse.grid
+        rho, u = macroscopic(cg.f, cg.force)
+        fneq = cg.f - equilibrium(rho, u)
+        return rho, u, fneq
+
+    def initialize_fine_from_coarse(self) -> None:
+        """Fill the whole fine lattice from the coarse solution.
+
+        Used at start-up and after every window move: macroscopic fields
+        are interpolated trilinearly and the non-equilibrium part is
+        rescaled, so the fine window starts from a consistent flow state
+        instead of quiescent fluid.
+        """
+        fg = self.fine.grid
+        cg = self.coarse.grid
+        rho_c, u_c, fneq_c = self._coarse_state()
+        idx = np.argwhere(~fg.solid)
+        pos = fg.origin + fg.spacing * idx
+        frac = (pos - cg.origin) / cg.spacing
+        rho_i = trilinear(rho_c, frac, self._interp_mode)
+        u_i = trilinear(u_c, frac, self._interp_mode)
+        fneq_i = trilinear(fneq_c, frac, self._interp_mode).T  # (19, N)
+        scale = self._scale_to_fine(frac)
+        f_new = _equilibrium_points(rho_i, u_i) + scale[None, :] * fneq_i
+        fg.f[:, idx[:, 0], idx[:, 1], idx[:, 2]] = f_new
+
+    def _impose_ghosts(self, theta: float) -> None:
+        """Set the fine boundary shell from time-interpolated coarse state."""
+        if len(self._ghost_idx[0]) == 0:
+            return
+        assert self._state_prev is not None and self._state_next is not None
+        rho_a, u_a, fneq_a = self._state_prev
+        rho_b, u_b, fneq_b = self._state_next
+        rho = (1 - theta) * rho_a + theta * rho_b
+        u = (1 - theta) * u_a + theta * u_b
+        fneq = (1 - theta) * fneq_a + theta * fneq_b
+        frac = self._ghost_coarse_frac
+        rho_i = trilinear(rho, frac, self._interp_mode)
+        u_i = trilinear(u, frac, self._interp_mode)
+        fneq_i = trilinear(fneq, frac, self._interp_mode).T
+        fg = self.fine.grid
+        gi, gj, gk = self._ghost_idx
+        fg.f[:, gi, gj, gk] = (
+            _equilibrium_points(rho_i, u_i) + self._ghost_scale[None, :] * fneq_i
+        )
+
+    def _restrict(self) -> None:
+        """Overwrite interior coarse nodes from coincident fine nodes."""
+        if self._restrict_coarse is None:
+            return
+        fg = self.fine.grid
+        cg = self.coarse.grid
+        fi, fj, fk = self._restrict_fine
+        f_fine = fg.f[:, fi, fj, fk]
+        rho = f_fine.sum(axis=0)
+        mom = np.einsum("qa,qn->an", D3Q19.c.astype(np.float64), f_fine)
+        u = (mom / rho).T  # (N, 3)
+        feq = _equilibrium_points(rho, u)
+        fneq = f_fine - feq
+        ci, cj, ck = self._restrict_coarse
+        cg.f[:, ci, cj, ck] = feq + self._restrict_scale[None, :] * fneq
+
+    # ------------------------------------------------------------------
+    def step(self, n_coarse: int = 1) -> None:
+        """Advance the coupled system by ``n_coarse`` coarse time steps."""
+        for _ in range(n_coarse):
+            self._state_prev = self._coarse_state()
+            self.coarse.step()
+            self._state_next = self._coarse_state()
+            for s in range(self.n):
+                self._impose_ghosts(theta=s / self.n)
+                self.fine.step()
+            self._impose_ghosts(theta=1.0)
+            self._restrict()

@@ -1,0 +1,68 @@
+"""CTC tracking and window-move triggering (Sections 2.4, 2.4.3).
+
+The window stays stationary while the CTC travels through it; when the
+CTC comes within a trigger distance of the window-proper boundary, a move
+is requested that re-centers the window on the CTC (snapped to the coarse
+lattice so the fine grid stays aligned with coarse nodes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..membrane.cell import Cell
+from .window import Window
+
+
+@dataclass
+class CTCTracker:
+    """Watches the CTC and decides when/where to move the window.
+
+    Parameters
+    ----------
+    trigger_distance:
+        A move triggers when the CTC centroid is closer than this to the
+        window-proper boundary (Chebyshev metric, matching the cubic
+        window geometry).
+    snap_spacing:
+        Window centers are snapped to multiples of this spacing (the
+        coarse lattice spacing times the refinement ratio keeps fine
+        nodes coincident with coarse nodes).
+    """
+
+    trigger_distance: float
+    snap_spacing: float
+    history: list[np.ndarray] = field(default_factory=list)
+
+    def record(self, ctc: Cell) -> np.ndarray:
+        """Log the CTC centroid; returns the recorded position."""
+        pos = ctc.centroid().copy()
+        self.history.append(pos)
+        return pos
+
+    def trajectory(self) -> np.ndarray:
+        """Recorded CTC path, shape (T, 3)."""
+        if not self.history:
+            return np.empty((0, 3))
+        return np.vstack(self.history)
+
+    def needs_move(self, ctc: Cell, window: Window) -> bool:
+        """True when the CTC is within trigger distance of the proper edge."""
+        d = np.abs(ctc.centroid() - window.center).max()
+        half = 0.5 * window.spec.proper_side
+        return bool(d >= half - self.trigger_distance)
+
+    def propose_center(self, ctc: Cell, window: Window) -> np.ndarray:
+        """New window center: the CTC position snapped to the lattice."""
+        raw = ctc.centroid()
+        snapped = np.round(raw / self.snap_spacing) * self.snap_spacing
+        return snapped
+
+    def total_distance(self) -> float:
+        """Arc length of the recorded trajectory [m]."""
+        traj = self.trajectory()
+        if len(traj) < 2:
+            return 0.0
+        return float(np.linalg.norm(np.diff(traj, axis=0), axis=1).sum())

@@ -1,0 +1,13 @@
+"""Runnable experiment configurations reproducing the paper's evaluation.
+
+Each module builds, runs and post-processes one of the paper's
+experiments at a configurable (default: toy) scale.  The benchmark
+harness under ``benchmarks/`` and the scripts under ``examples/`` are
+thin wrappers around these functions, so every figure/table can also be
+regenerated programmatically.
+
+Import experiment modules directly (e.g.
+``from repro.experiments.shear_layers import run_shear_layers``); this
+package ``__init__`` stays import-light because some experiments pull in
+heavy machinery.
+"""

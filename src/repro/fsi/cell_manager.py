@@ -1,0 +1,207 @@
+"""Cell population management with pooled storage and batched mechanics.
+
+:class:`CellManager` owns every cell in one simulation region.  Cells are
+grouped by (mesh topology, mechanical moduli); each group's vertices live
+in a :class:`~repro.fsi.pool.VertexPool` so membrane forces for the whole
+group evaluate as one batched array operation — the Python counterpart of
+the paper's pooled GPU cell buffers (Section 2.4.5).
+
+Global IDs are allocated monotonically by the manager and never reused,
+which the deterministic overlap-removal rule (Section 2.4.2) relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..membrane.bending import bending_forces
+from ..membrane.cell import Cell, CellKind
+from ..membrane.constraints import area_volume_forces
+from ..membrane.skalak import skalak_forces
+from .pool import VertexPool
+
+
+def _group_key(cell: Cell) -> tuple:
+    return (
+        id(cell.reference),
+        cell.shear_modulus,
+        cell.skalak_C,
+        cell.bending_modulus,
+        cell.k_area,
+        cell.k_volume,
+    )
+
+
+@dataclass
+class _Group:
+    reference: object
+    pool: VertexPool
+    cells: list[Cell] = field(default_factory=list)
+    slots: list[int] = field(default_factory=list)
+    last_grow_events: int = 0
+
+
+class CellManager:
+    """Container for all cells in a region, with batched force evaluation."""
+
+    def __init__(self, contact_cutoff: float = 0.5e-6, contact_stiffness: float = 2.0e-10):
+        self._groups: dict[tuple, _Group] = {}
+        self._by_id: dict[int, tuple[tuple, int]] = {}  # id -> (group key, idx)
+        self._next_id = 0
+        self.contact_cutoff = contact_cutoff
+        self.contact_stiffness = contact_stiffness
+
+    # -- id allocation ------------------------------------------------------
+    def allocate_id(self) -> int:
+        gid = self._next_id
+        self._next_id += 1
+        return gid
+
+    def reserve_ids(self, count: int) -> range:
+        """Reserve a contiguous block of IDs (used by tile stamping)."""
+        start = self._next_id
+        self._next_id += count
+        return range(start, start + count)
+
+    # -- membership ---------------------------------------------------------
+    @property
+    def cells(self) -> list[Cell]:
+        out: list[Cell] = []
+        for g in self._groups.values():
+            out.extend(g.cells)
+        return out
+
+    @property
+    def n_cells(self) -> int:
+        return sum(len(g.cells) for g in self._groups.values())
+
+    def __contains__(self, global_id: int) -> bool:
+        return global_id in self._by_id
+
+    def get(self, global_id: int) -> Cell:
+        key, idx = self._by_id[global_id]
+        return self._groups[key].cells[idx]
+
+    def add(self, cell: Cell) -> Cell:
+        """Insert a cell; its vertices are rebound into pooled storage."""
+        if cell.global_id in self._by_id:
+            raise ValueError(f"duplicate global id {cell.global_id}")
+        if cell.global_id >= self._next_id:
+            self._next_id = cell.global_id + 1
+        key = _group_key(cell)
+        group = self._groups.get(key)
+        if group is None:
+            group = _Group(
+                reference=cell.reference,
+                pool=VertexPool(cell.reference.n_vertices),
+            )
+            self._groups[key] = group
+        slot = group.pool.acquire(cell.vertices)
+        if group.pool.grow_events != group.last_grow_events:
+            self._rebind(group)
+        cell.vertices = group.pool.view(slot)
+        group.cells.append(cell)
+        group.slots.append(slot)
+        self._by_id[cell.global_id] = (key, len(group.cells) - 1)
+        return cell
+
+    def remove(self, global_id: int) -> Cell:
+        """Remove a cell by global ID; its pool slot is recycled."""
+        key, idx = self._by_id.pop(global_id)
+        group = self._groups[key]
+        cell = group.cells[idx]
+        group.pool.release(group.slots[idx])
+        # Swap-remove keeps lists compact; fix the moved cell's index.
+        last = len(group.cells) - 1
+        if idx != last:
+            group.cells[idx] = group.cells[last]
+            group.slots[idx] = group.slots[last]
+            self._by_id[group.cells[idx].global_id] = (key, idx)
+        group.cells.pop()
+        group.slots.pop()
+        # Detach the removed cell from the pool (give it its own copy).
+        cell.vertices = np.array(cell.vertices)
+        return cell
+
+    def remove_where(self, predicate) -> list[Cell]:
+        """Remove every cell for which ``predicate(cell)`` is true."""
+        doomed = [c.global_id for c in self.cells if predicate(c)]
+        return [self.remove(gid) for gid in doomed]
+
+    def _rebind(self, group: _Group) -> None:
+        """Refresh cell vertex views after a pool growth reallocated storage."""
+        for cell, slot in zip(group.cells, group.slots):
+            cell.vertices = group.pool.view(slot)
+        group.last_grow_events = group.pool.grow_events
+
+    # -- bulk geometry -------------------------------------------------------
+    def all_vertices(self) -> tuple[np.ndarray, np.ndarray, list[Cell]]:
+        """All vertices stacked (N, 3), per-vertex cell ordinal, cell list.
+
+        Ordering is deterministic: groups in insertion order, cells in
+        group order; the ordinal indexes into the returned cell list.
+        """
+        chunks = []
+        ordinals = []
+        cells: list[Cell] = []
+        for group in self._groups.values():
+            for cell in group.cells:
+                chunks.append(cell.vertices)
+                ordinals.append(np.full(len(cell.vertices), len(cells)))
+                cells.append(cell)
+        if not chunks:
+            return np.empty((0, 3)), np.empty(0, dtype=np.int64), []
+        return np.vstack(chunks), np.concatenate(ordinals).astype(np.int64), cells
+
+    def centroids(self) -> np.ndarray:
+        cells = self.cells
+        if not cells:
+            return np.empty((0, 3))
+        return np.array([c.centroid() for c in cells])
+
+    # -- mechanics -----------------------------------------------------------
+    def membrane_forces(self) -> dict[int, np.ndarray]:
+        """Batched membrane forces for every cell, keyed by global ID [N]."""
+        out: dict[int, np.ndarray] = {}
+        for group in self._groups.values():
+            if not group.cells:
+                continue
+            ref = group.reference
+            sample = group.cells[0]
+            batch = group.pool.batch(group.slots)  # (B, V, 3)
+            f = skalak_forces(batch, ref, sample.shear_modulus, sample.skalak_C)
+            f += bending_forces(batch, ref.quads, ref.theta0, sample.k_bend)
+            f += area_volume_forces(
+                batch, ref.faces, ref.area0, ref.volume0,
+                sample.k_area, sample.k_volume,
+            )
+            for cell, fi in zip(group.cells, f):
+                out[cell.global_id] = fi
+        return out
+
+    def total_forces(self) -> tuple[np.ndarray, np.ndarray, list[Cell]]:
+        """Membrane + contact forces aligned with :meth:`all_vertices`."""
+        from .contact import contact_forces  # deferred: scipy import cost
+
+        verts, ordinals, cells = self.all_vertices()
+        if len(cells) == 0:
+            return np.empty((0, 3)), verts, cells
+        membrane = self.membrane_forces()
+        forces = np.vstack([membrane[c.global_id] for c in cells])
+        forces += contact_forces(
+            verts, ordinals, self.contact_cutoff, self.contact_stiffness
+        )
+        return forces, verts, cells
+
+    def update_vertices(self, displacements: np.ndarray) -> None:
+        """Advect all vertices by stacked displacements (same ordering)."""
+        offset = 0
+        for group in self._groups.values():
+            for cell in group.cells:
+                nv = len(cell.vertices)
+                cell.vertices += displacements[offset : offset + nv]
+                offset += nv
+        if offset != len(displacements):
+            raise ValueError("displacement array does not match vertex count")

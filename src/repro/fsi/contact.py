@@ -1,0 +1,65 @@
+"""Short-range intercellular contact forces.
+
+Deformable-cell suspensions need a sub-grid repulsion to keep membranes
+from interpenetrating where the IBM velocity field cannot resolve the
+lubrication layer (standard practice in HARVEY-family FSI codes).  A
+linear soft repulsion acts between vertex pairs of *different* cells
+closer than a cutoff:
+
+    F(r) = k_c (1 - r/r_c) r_hat      for r < r_c
+
+Pairs are found with a cKDTree over the pooled vertex array (C-speed;
+functionally equivalent to the uniform subgrid used for the rarer
+overlap-removal events).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+
+def contact_forces(
+    vertices: np.ndarray,
+    cell_index: np.ndarray,
+    cutoff: float,
+    stiffness: float,
+) -> np.ndarray:
+    """Pairwise repulsive forces between vertices of different cells.
+
+    Parameters
+    ----------
+    vertices:
+        All cell vertices stacked, shape (N, 3) [m].
+    cell_index:
+        Owning cell ordinal per vertex, shape (N,).
+    cutoff:
+        Interaction range r_c [m].
+    stiffness:
+        Peak force k_c at contact [N].
+
+    Returns
+    -------
+    (N, 3) forces; equal and opposite within each pair (momentum-free).
+    """
+    n = len(vertices)
+    forces = np.zeros((n, 3))
+    if n == 0 or cutoff <= 0.0:
+        return forces
+    tree = cKDTree(vertices)
+    pairs = tree.query_pairs(cutoff, output_type="ndarray")
+    if len(pairs) == 0:
+        return forces
+    i, j = pairs[:, 0], pairs[:, 1]
+    inter = cell_index[i] != cell_index[j]
+    i, j = i[inter], j[inter]
+    if len(i) == 0:
+        return forces
+    d = vertices[i] - vertices[j]
+    r = np.linalg.norm(d, axis=1)
+    r = np.maximum(r, 1e-12 * cutoff)
+    mag = stiffness * (1.0 - r / cutoff)
+    fij = (mag / r)[:, None] * d
+    np.add.at(forces, i, fij)
+    np.add.at(forces, j, -fij)
+    return forces

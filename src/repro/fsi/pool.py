@@ -1,0 +1,88 @@
+"""Pre-allocated vertex storage for cell populations.
+
+Implements the paper's "Cell Memory Management" optimization
+(Section 2.4.5): all memory for cells is allocated up front with headroom,
+and adding/removing a cell shifts slot ownership instead of allocating or
+freeing buffers mid-simulation.  Cells receive numpy *views* into the pool
+so that batched force kernels can operate on one contiguous array.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class VertexPool:
+    """Fixed-capacity slab of per-cell vertex blocks.
+
+    Parameters
+    ----------
+    n_vertices:
+        Vertices per cell (all cells in one pool share a topology).
+    capacity:
+        Number of cell slots pre-allocated.
+    growth:
+        When full, the pool grows by this factor (a rare, amortized event —
+        the paper sizes pools with headroom for exactly this reason).
+    """
+
+    def __init__(self, n_vertices: int, capacity: int = 64, growth: float = 2.0):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.n_vertices = int(n_vertices)
+        self.growth = float(growth)
+        self._data = np.zeros((capacity, self.n_vertices, 3), dtype=np.float64)
+        self._free: list[int] = list(range(capacity - 1, -1, -1))
+        self._active: set[int] = set()
+        self.grow_events = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._data.shape[0]
+
+    @property
+    def n_active(self) -> int:
+        return len(self._active)
+
+    def acquire(self, vertices: np.ndarray) -> int:
+        """Copy ``vertices`` into a free slot and return the slot id."""
+        vertices = np.asarray(vertices, dtype=np.float64)
+        if vertices.shape != (self.n_vertices, 3):
+            raise ValueError(
+                f"expected ({self.n_vertices}, 3) vertices, got {vertices.shape}"
+            )
+        if not self._free:
+            self._grow()
+        slot = self._free.pop()
+        self._active.add(slot)
+        self._data[slot] = vertices
+        return slot
+
+    def release(self, slot: int) -> None:
+        """Return a slot to the free list (no deallocation)."""
+        if slot not in self._active:
+            raise KeyError(f"slot {slot} is not active")
+        self._active.remove(slot)
+        self._free.append(slot)
+
+    def view(self, slot: int) -> np.ndarray:
+        """Writable view of one cell's vertex block."""
+        if slot not in self._active:
+            raise KeyError(f"slot {slot} is not active")
+        return self._data[slot]
+
+    def batch(self, slots: list[int]) -> np.ndarray:
+        """Gather the given slots into a contiguous (B, V, 3) batch (copy)."""
+        return self._data[np.asarray(slots, dtype=np.intp)]
+
+    def write_batch(self, slots: list[int], values: np.ndarray) -> None:
+        """Scatter a (B, V, 3) batch back into the pool."""
+        self._data[np.asarray(slots, dtype=np.intp)] = values
+
+    def _grow(self) -> None:
+        old = self._data
+        new_cap = max(self.capacity + 1, int(self.capacity * self.growth))
+        self._data = np.zeros((new_cap, self.n_vertices, 3), dtype=np.float64)
+        self._data[: old.shape[0]] = old
+        self._free.extend(range(new_cap - 1, old.shape[0] - 1, -1))
+        self.grow_events += 1

@@ -1,0 +1,74 @@
+"""Background uniform subgrid for neighbor queries (Section 2.4.2).
+
+The paper's overlap-removal algorithm "detects overlaps by identifying
+nearby cells at each vertex of the tested cell, using a background uniform
+subgrid".  :class:`UniformSubgrid` is that structure: points are binned
+into cubic cells of the query cutoff size, so a radius query touches only
+the 27 surrounding bins.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class UniformSubgrid:
+    """Hash grid over 3D points supporting fixed-radius neighbor queries."""
+
+    def __init__(self, cell_size: float):
+        if cell_size <= 0:
+            raise ValueError("cell size must be positive")
+        self.cell_size = float(cell_size)
+        self._bins: dict[tuple[int, int, int], list[int]] = {}
+        self._points = np.empty((0, 3), dtype=np.float64)
+        self._labels = np.empty(0, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def _key(self, p: np.ndarray) -> tuple[int, int, int]:
+        return tuple(np.floor(p / self.cell_size).astype(np.int64))
+
+    def insert(self, points: np.ndarray, labels: np.ndarray | int) -> None:
+        """Insert points with integer labels (e.g. owning cell global IDs)."""
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        labels = np.broadcast_to(np.asarray(labels, dtype=np.int64), len(points))
+        start = len(self._points)
+        self._points = np.vstack([self._points, points])
+        self._labels = np.concatenate([self._labels, labels])
+        keys = np.floor(points / self.cell_size).astype(np.int64)
+        for i, key in enumerate(map(tuple, keys)):
+            self._bins.setdefault(key, []).append(start + i)
+
+    def query(
+        self, point: np.ndarray, radius: float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Indices and labels of stored points within ``radius`` of ``point``.
+
+        ``radius`` must not exceed the subgrid cell size (one-ring search).
+        """
+        if radius > self.cell_size * (1 + 1e-12):
+            raise ValueError("query radius exceeds subgrid cell size")
+        point = np.asarray(point, dtype=np.float64)
+        kx, ky, kz = self._key(point)
+        candidates: list[int] = []
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                for dz in (-1, 0, 1):
+                    candidates.extend(
+                        self._bins.get((kx + dx, ky + dy, kz + dz), ())
+                    )
+        if not candidates:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        idx = np.asarray(candidates, dtype=np.int64)
+        d2 = ((self._points[idx] - point) ** 2).sum(axis=1)
+        hit = idx[d2 <= radius * radius]
+        return hit, self._labels[hit]
+
+    def query_labels_near(self, points: np.ndarray, radius: float) -> set[int]:
+        """Union of labels found within ``radius`` of any of the points."""
+        out: set[int] = set()
+        for p in np.atleast_2d(points):
+            _, labels = self.query(p, radius)
+            out.update(int(l) for l in labels)
+        return out

@@ -1,0 +1,33 @@
+"""Simulation geometries: SDF primitives, voxelization, OFF I/O, vasculature.
+
+HARVEY consumes patient-derived vascular geometries as OFF surface meshes;
+those data are proprietary, so this package additionally provides synthetic
+Murray's-law vascular trees (:mod:`repro.geometry.vasculature`) that supply
+the same two things the APR machinery needs from a geometry: a wall mask for
+the lattice and a centerline path for the moving window.
+"""
+
+from .primitives import (
+    BoxChannel,
+    Tube,
+    ExpandingChannel,
+    sdf_capsule,
+)
+from .voxelize import solid_mask_from_sdf, solid_mask_for_grid
+from .off_io import read_off, write_off
+from .vasculature import VascularTree, murray_tree, cerebral_tree, upper_body_tree
+
+__all__ = [
+    "BoxChannel",
+    "Tube",
+    "ExpandingChannel",
+    "sdf_capsule",
+    "solid_mask_from_sdf",
+    "solid_mask_for_grid",
+    "read_off",
+    "write_off",
+    "VascularTree",
+    "murray_tree",
+    "cerebral_tree",
+    "upper_body_tree",
+]

@@ -1,0 +1,73 @@
+"""Object File Format (OFF) surface-mesh I/O.
+
+HARVEY specifies simulation domains with OFF files (paper appendix,
+"Reproducibility of Experiments").  This module reads and writes the
+triangle-mesh subset of OFF: vertex coordinates plus triangular faces.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import numpy as np
+
+
+def _tokens(stream: io.TextIOBase):
+    """Yield whitespace tokens, skipping blank lines and '#' comments."""
+    for line in stream:
+        body = line.split("#", 1)[0].strip()
+        if body:
+            yield from body.split()
+
+
+def read_off(path: str | Path) -> tuple[np.ndarray, np.ndarray]:
+    """Read an OFF file.
+
+    Returns
+    -------
+    vertices : (V, 3) float array
+    faces : (F, 3) int array (triangles; larger polygons are fan-split)
+    """
+    with open(path, "r") as fh:
+        tok = _tokens(fh)
+        header = next(tok)
+        if header != "OFF":
+            raise ValueError(f"{path}: not an OFF file (header {header!r})")
+        nv = int(next(tok))
+        nf = int(next(tok))
+        _ne = int(next(tok))  # edge count, ignored per the OFF convention
+        verts = np.empty((nv, 3), dtype=np.float64)
+        for i in range(nv):
+            verts[i] = [float(next(tok)) for _ in range(3)]
+        faces: list[tuple[int, int, int]] = []
+        for _ in range(nf):
+            k = int(next(tok))
+            idx = [int(next(tok)) for _ in range(k)]
+            if k < 3:
+                raise ValueError(f"{path}: degenerate face with {k} vertices")
+            for j in range(1, k - 1):  # fan triangulation
+                faces.append((idx[0], idx[j], idx[j + 1]))
+    faces_arr = np.array(faces, dtype=np.int64)
+    if faces_arr.size and faces_arr.max() >= nv:
+        raise ValueError(f"{path}: face index out of range")
+    return verts, faces_arr
+
+
+def write_off(
+    path: str | Path, vertices: np.ndarray, faces: np.ndarray
+) -> None:
+    """Write a triangle mesh as an OFF file."""
+    vertices = np.asarray(vertices, dtype=np.float64)
+    faces = np.asarray(faces, dtype=np.int64)
+    if vertices.ndim != 2 or vertices.shape[1] != 3:
+        raise ValueError("vertices must be (V, 3)")
+    if faces.ndim != 2 or faces.shape[1] != 3:
+        raise ValueError("faces must be (F, 3)")
+    with open(path, "w") as fh:
+        fh.write("OFF\n")
+        fh.write(f"{len(vertices)} {len(faces)} 0\n")
+        for v in vertices:
+            fh.write(f"{v[0]:.9g} {v[1]:.9g} {v[2]:.9g}\n")
+        for f in faces:
+            fh.write(f"3 {f[0]} {f[1]} {f[2]}\n")

@@ -1,0 +1,116 @@
+"""Signed-distance-function geometry primitives.
+
+Convention: the SDF is *negative inside the fluid* and positive in the
+solid, so ``sdf(x) > 0`` marks wall nodes.  All primitives work on arrays
+of points with shape (..., 3) in physical coordinates [m].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def _as_points(points: np.ndarray) -> np.ndarray:
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.shape[-1] != 3:
+        raise ValueError("points must have trailing dimension 3")
+    return pts
+
+
+@dataclass(frozen=True)
+class BoxChannel:
+    """Rectangular duct: fluid strictly inside [lo, hi] on the wall axes.
+
+    ``open_axes`` lists axes along which the duct is open (no walls) —
+    e.g. a plane-Couette cell is open along x and z with walls on y.
+    """
+
+    lo: tuple[float, float, float]
+    hi: tuple[float, float, float]
+    open_axes: tuple[int, ...] = ()
+
+    def sdf(self, points: np.ndarray) -> np.ndarray:
+        pts = _as_points(points)
+        lo = np.asarray(self.lo)
+        hi = np.asarray(self.hi)
+        # Distance outside the slab on each walled axis; inside is negative.
+        d = np.maximum(lo - pts, pts - hi)
+        for ax in self.open_axes:
+            d[..., ax] = -np.inf
+        return d.max(axis=-1)
+
+
+@dataclass(frozen=True)
+class Tube:
+    """Straight circular tube of a given radius around an axis line.
+
+    The tube is open-ended (infinite along ``axis``); combine with periodic
+    or inlet/outlet boundaries along the axis.
+    """
+
+    radius: float
+    axis: int = 2
+    center: tuple[float, float] = (0.0, 0.0)
+
+    def sdf(self, points: np.ndarray) -> np.ndarray:
+        pts = _as_points(points)
+        trans = [d for d in range(3) if d != self.axis]
+        dx = pts[..., trans[0]] - self.center[0]
+        dy = pts[..., trans[1]] - self.center[1]
+        return np.hypot(dx, dy) - self.radius
+
+
+@dataclass(frozen=True)
+class ExpandingChannel:
+    """Circular channel that expands from ``radius_in`` to ``radius_out``.
+
+    Mirrors the Section 3.3 microfluidic geometry: diameter 200 um expanding
+    to 400 um at z = 400 um over a short conical transition.  ``taper``
+    controls the axial length of the conical expansion (a sharp step is
+    numerically unkind to both LBM and cells).
+    """
+
+    radius_in: float
+    radius_out: float
+    z_expand: float
+    taper: float = 0.0
+    axis: int = 2
+    center: tuple[float, float] = (0.0, 0.0)
+
+    def local_radius(self, z: np.ndarray) -> np.ndarray:
+        """Channel radius at axial position ``z``."""
+        z = np.asarray(z, dtype=np.float64)
+        if self.taper <= 0.0:
+            return np.where(z < self.z_expand, self.radius_in, self.radius_out)
+        t = np.clip((z - self.z_expand) / self.taper, 0.0, 1.0)
+        return self.radius_in + (self.radius_out - self.radius_in) * t
+
+    def sdf(self, points: np.ndarray) -> np.ndarray:
+        pts = _as_points(points)
+        trans = [d for d in range(3) if d != self.axis]
+        dx = pts[..., trans[0]] - self.center[0]
+        dy = pts[..., trans[1]] - self.center[1]
+        r = np.hypot(dx, dy)
+        return r - self.local_radius(pts[..., self.axis])
+
+
+def sdf_capsule(
+    points: np.ndarray, a: np.ndarray, b: np.ndarray, radius: float
+) -> np.ndarray:
+    """SDF of a capsule (cylinder with hemispherical caps) from a to b.
+
+    This is the building block for vessel segments in
+    :mod:`repro.geometry.vasculature`.
+    """
+    pts = _as_points(points)
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    ab = b - a
+    denom = float(ab @ ab)
+    if denom == 0.0:
+        return np.linalg.norm(pts - a, axis=-1) - radius
+    t = np.clip(((pts - a) @ ab) / denom, 0.0, 1.0)
+    closest = a + t[..., None] * ab
+    return np.linalg.norm(pts - closest, axis=-1) - radius

@@ -1,0 +1,57 @@
+"""Voxelization of SDF geometries onto LBM lattices.
+
+A lattice node is *solid* when the geometry SDF is positive there (wall
+side).  Voxelization is chunked along the first axis to bound peak memory
+for large lattices.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+import numpy as np
+
+
+class HasSdf(Protocol):
+    def sdf(self, points: np.ndarray) -> np.ndarray: ...
+
+
+def solid_mask_from_sdf(
+    sdf: Callable[[np.ndarray], np.ndarray] | HasSdf,
+    shape: tuple[int, int, int],
+    origin: np.ndarray,
+    spacing: float,
+    chunk: int = 64,
+) -> np.ndarray:
+    """Boolean solid mask for a lattice from an SDF.
+
+    Parameters
+    ----------
+    sdf:
+        Either a callable ``points -> sdf`` or an object with an ``.sdf``
+        method (all :mod:`repro.geometry.primitives` classes qualify).
+    shape, origin, spacing:
+        Lattice layout (see :class:`repro.lbm.grid.Grid` conventions).
+    chunk:
+        Number of x-planes voxelized per batch.
+    """
+    fn = sdf.sdf if hasattr(sdf, "sdf") else sdf
+    origin = np.asarray(origin, dtype=np.float64)
+    nx, ny, nz = shape
+    ys = origin[1] + spacing * np.arange(ny)
+    zs = origin[2] + spacing * np.arange(nz)
+    solid = np.empty(shape, dtype=bool)
+    for x0 in range(0, nx, chunk):
+        x1 = min(x0 + chunk, nx)
+        xs = origin[0] + spacing * np.arange(x0, x1)
+        xg, yg, zg = np.meshgrid(xs, ys, zs, indexing="ij")
+        pts = np.stack([xg, yg, zg], axis=-1)
+        solid[x0:x1] = fn(pts) > 0.0
+    return solid
+
+
+def solid_mask_for_grid(grid, sdf) -> np.ndarray:
+    """Voxelize ``sdf`` onto an existing :class:`repro.lbm.grid.Grid`."""
+    return solid_mask_from_sdf(
+        sdf, grid.shape, grid.origin, grid.spacing
+    )

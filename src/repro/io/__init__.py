@@ -1,0 +1,22 @@
+"""Output and checkpointing utilities.
+
+HARVEY writes fluid profiles and cell trajectories as CSV and geometry
+as OFF (see the paper's artifact description); this package mirrors that:
+CSV time series and trajectories, legacy-VTK snapshots for visual
+inspection, and npz checkpoint/restore of full simulation state.
+"""
+
+from .csvout import write_csv, read_csv, TrajectoryWriter, TimeSeriesWriter
+from .vtk import write_vtk_structured, write_vtk_mesh
+from .checkpoint import save_checkpoint, load_checkpoint
+
+__all__ = [
+    "write_csv",
+    "read_csv",
+    "TrajectoryWriter",
+    "TimeSeriesWriter",
+    "write_vtk_structured",
+    "write_vtk_mesh",
+    "save_checkpoint",
+    "load_checkpoint",
+]

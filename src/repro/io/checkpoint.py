@@ -1,0 +1,96 @@
+"""Checkpoint / restore of simulation state via compressed npz.
+
+Long APR campaigns (the paper's cerebral run covers simulated days of
+wall time) need restartability.  A checkpoint captures the lattice
+distributions plus every cell's vertices and identity; restoring rebuilds
+the CellManager population exactly.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..fsi.cell_manager import CellManager
+from ..membrane.cell import Cell, CellKind, reference_for
+
+
+def save_checkpoint(
+    path: str | Path,
+    step: int,
+    f_coarse: np.ndarray,
+    manager: CellManager | None = None,
+    f_fine: np.ndarray | None = None,
+    extra: dict | None = None,
+) -> None:
+    """Write simulation state to a compressed npz archive."""
+    payload: dict[str, np.ndarray] = {
+        "step": np.array(step, dtype=np.int64),
+        "f_coarse": f_coarse,
+    }
+    if f_fine is not None:
+        payload["f_fine"] = f_fine
+    if manager is not None:
+        cells = sorted(manager.cells, key=lambda c: c.global_id)
+        payload["cell_ids"] = np.array([c.global_id for c in cells], dtype=np.int64)
+        payload["cell_kinds"] = np.array(
+            [c.kind.value for c in cells], dtype="U8"
+        )
+        payload["cell_gs"] = np.array([c.shear_modulus for c in cells])
+        payload["cell_diameters"] = np.array(
+            [2.0 * np.abs(c.reference.vertices[:, :2]).max() for c in cells]
+        )
+        for cell in cells:
+            payload[f"cell_{cell.global_id}_verts"] = cell.vertices
+    if extra:
+        for k, v in extra.items():
+            payload[f"extra_{k}"] = np.asarray(v)
+    np.savez_compressed(path, **payload)
+
+
+def _subdivisions_from_vertex_count(n_vertices: int) -> int:
+    """Invert the icosphere vertex count 10 * 4^s + 2."""
+    s = int(round(np.log((n_vertices - 2) / 10.0) / np.log(4.0)))
+    if 10 * 4**s + 2 != n_vertices:
+        raise ValueError(f"{n_vertices} is not an icosphere vertex count")
+    return s
+
+
+def load_checkpoint(path: str | Path) -> dict:
+    """Restore a checkpoint; returns a dict with step, fields, manager.
+
+    Cells are rebuilt against freshly cached reference states of their
+    kind/diameter (reference data is derived, not stored); the mesh
+    subdivision level is inferred from each cell's vertex count.
+    """
+    data = np.load(path, allow_pickle=False)
+    out: dict = {"step": int(data["step"])}
+    out["f_coarse"] = data["f_coarse"]
+    if "f_fine" in data:
+        out["f_fine"] = data["f_fine"]
+    if "cell_ids" in data:
+        manager = CellManager()
+        ids = data["cell_ids"]
+        kinds = data["cell_kinds"]
+        gs = data["cell_gs"]
+        diams = data["cell_diameters"]
+        for i, gid in enumerate(ids):
+            kind = CellKind(str(kinds[i]))
+            verts = data[f"cell_{gid}_verts"]
+            ref = reference_for(
+                kind, float(diams[i]), _subdivisions_from_vertex_count(len(verts))
+            )
+            cell = Cell(
+                kind=kind,
+                reference=ref,
+                vertices=data[f"cell_{gid}_verts"],
+                global_id=int(gid),
+                shear_modulus=float(gs[i]),
+            )
+            manager.add(cell)
+        out["manager"] = manager
+    out["extra"] = {
+        k[len("extra_") :]: data[k] for k in data.files if k.startswith("extra_")
+    }
+    return out

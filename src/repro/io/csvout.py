@@ -1,0 +1,84 @@
+"""CSV output matching HARVEY's artifact formats.
+
+The paper's artifacts ship fluid profiles and CTC trajectories as CSV
+files ("The fluid profile in each region is output into a CSV file with
+the velocity at each fluid node"); these helpers write/read the same
+shape of data with stdlib csv only.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+
+def write_csv(path: str | Path, header: list[str], rows) -> None:
+    """Write rows (iterable of sequences) with a header line."""
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(header)
+        for row in rows:
+            writer.writerow([repr(v) if isinstance(v, float) else v for v in row])
+
+
+def read_csv(path: str | Path) -> tuple[list[str], np.ndarray]:
+    """Read a numeric CSV written by :func:`write_csv`.
+
+    Returns (header, data) with data shaped (rows, columns).
+    """
+    with open(path, "r", newline="") as fh:
+        reader = csv.reader(fh)
+        header = next(reader)
+        data = [[float(v) for v in row] for row in reader if row]
+    return header, np.array(data)
+
+
+class TrajectoryWriter:
+    """Streams (t, x, y, z) samples of a tracked cell to CSV."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._fh = open(self.path, "w", newline="")
+        self._writer = csv.writer(self._fh)
+        self._writer.writerow(["time_s", "x_m", "y_m", "z_m"])
+
+    def record(self, time: float, position: np.ndarray) -> None:
+        p = np.asarray(position, dtype=np.float64)
+        self._writer.writerow([repr(float(time))] + [repr(float(v)) for v in p])
+
+    def close(self) -> None:
+        self._fh.close()
+
+    def __enter__(self) -> "TrajectoryWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class TimeSeriesWriter:
+    """Streams named scalar series (e.g. window hematocrit) to CSV."""
+
+    def __init__(self, path: str | Path, columns: list[str]):
+        self.path = Path(path)
+        self.columns = list(columns)
+        self._fh = open(self.path, "w", newline="")
+        self._writer = csv.writer(self._fh)
+        self._writer.writerow(["time_s"] + self.columns)
+
+    def record(self, time: float, **values: float) -> None:
+        row = [repr(float(time))]
+        for col in self.columns:
+            row.append(repr(float(values[col])))
+        self._writer.writerow(row)
+
+    def close(self) -> None:
+        self._fh.close()
+
+    def __enter__(self) -> "TimeSeriesWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,90 @@
+"""Legacy-VTK writers for fluid fields and cell meshes.
+
+ASCII legacy VTK is deliberately dependency-free and opens directly in
+ParaView — enough to render the paper's figures (velocity contours,
+deformed cells with force contours).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+
+def write_vtk_structured(
+    path: str | Path,
+    origin: np.ndarray,
+    spacing: float,
+    scalars: dict[str, np.ndarray] | None = None,
+    vectors: dict[str, np.ndarray] | None = None,
+) -> None:
+    """Write structured-points fields (scalars (nx,ny,nz), vectors (3,...))."""
+    scalars = scalars or {}
+    vectors = vectors or {}
+    shapes = [v.shape for v in scalars.values()] + [
+        v.shape[1:] for v in vectors.values()
+    ]
+    if not shapes:
+        raise ValueError("need at least one field")
+    shape = shapes[0]
+    if any(s != shape for s in shapes):
+        raise ValueError("all fields must share one grid shape")
+    nx, ny, nz = shape
+    origin = np.asarray(origin, dtype=np.float64)
+    with open(path, "w") as fh:
+        fh.write("# vtk DataFile Version 3.0\nrepro fluid field\nASCII\n")
+        fh.write("DATASET STRUCTURED_POINTS\n")
+        fh.write(f"DIMENSIONS {nx} {ny} {nz}\n")
+        fh.write(f"ORIGIN {origin[0]} {origin[1]} {origin[2]}\n")
+        fh.write(f"SPACING {spacing} {spacing} {spacing}\n")
+        fh.write(f"POINT_DATA {nx * ny * nz}\n")
+        for name, arr in scalars.items():
+            fh.write(f"SCALARS {name} double 1\nLOOKUP_TABLE default\n")
+            # VTK structured points iterate x fastest.
+            flat = np.transpose(arr, (2, 1, 0)).ravel()
+            fh.write("\n".join(f"{v:.9g}" for v in flat))
+            fh.write("\n")
+        for name, arr in vectors.items():
+            fh.write(f"VECTORS {name} double\n")
+            flat = np.transpose(arr, (3, 2, 1, 0)).reshape(-1, 3)
+            for v in flat:
+                fh.write(f"{v[0]:.9g} {v[1]:.9g} {v[2]:.9g}\n")
+
+
+def write_vtk_mesh(
+    path: str | Path,
+    vertices: np.ndarray,
+    faces: np.ndarray,
+    point_data: dict[str, np.ndarray] | None = None,
+) -> None:
+    """Write a triangle mesh (e.g. a deformed cell) as POLYDATA.
+
+    ``point_data`` maps names to per-vertex scalars (V,) or vectors (V, 3)
+    — e.g. the FEM force magnitudes rendered in the paper's Fig. 9 inset.
+    """
+    vertices = np.asarray(vertices, dtype=np.float64)
+    faces = np.asarray(faces, dtype=np.int64)
+    with open(path, "w") as fh:
+        fh.write("# vtk DataFile Version 3.0\nrepro cell mesh\nASCII\n")
+        fh.write("DATASET POLYDATA\n")
+        fh.write(f"POINTS {len(vertices)} double\n")
+        for v in vertices:
+            fh.write(f"{v[0]:.9g} {v[1]:.9g} {v[2]:.9g}\n")
+        fh.write(f"POLYGONS {len(faces)} {4 * len(faces)}\n")
+        for f in faces:
+            fh.write(f"3 {f[0]} {f[1]} {f[2]}\n")
+        if point_data:
+            fh.write(f"POINT_DATA {len(vertices)}\n")
+            for name, arr in point_data.items():
+                arr = np.asarray(arr, dtype=np.float64)
+                if arr.ndim == 1:
+                    fh.write(f"SCALARS {name} double 1\nLOOKUP_TABLE default\n")
+                    fh.write("\n".join(f"{v:.9g}" for v in arr))
+                    fh.write("\n")
+                elif arr.ndim == 2 and arr.shape[1] == 3:
+                    fh.write(f"VECTORS {name} double\n")
+                    for v in arr:
+                        fh.write(f"{v[0]:.9g} {v[1]:.9g} {v[2]:.9g}\n")
+                else:
+                    raise ValueError(f"point data {name!r} must be (V,) or (V, 3)")

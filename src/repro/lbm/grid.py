@@ -1,0 +1,121 @@
+"""Eulerian grid state for one LBM lattice (bulk or window).
+
+A :class:`Grid` owns the distribution functions, the solid mask, the
+body-force field and the relaxation time.  Position convention: lattice
+node ``(i, j, k)`` sits at physical location ``origin + spacing*(i, j, k)``
+in the *global* coordinate frame, which is how the fine window is embedded
+in the coarse bulk lattice (Section 2.4.1 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import numpy as np
+
+from .lattice import D3Q19
+from .collision import equilibrium
+
+
+@dataclass
+class Grid:
+    """State of one LBM lattice level.
+
+    Parameters
+    ----------
+    shape:
+        Number of lattice nodes along each axis, ``(nx, ny, nz)``.
+    tau:
+        BGK relaxation time (lattice units) for this level.
+    origin:
+        Physical coordinates of node (0, 0, 0) in the global frame [m].
+    spacing:
+        Physical lattice spacing of this level [m].
+    """
+
+    shape: Tuple[int, int, int]
+    tau: float | np.ndarray
+    origin: np.ndarray = field(default_factory=lambda: np.zeros(3))
+    spacing: float = 1.0
+
+    def __post_init__(self) -> None:
+        nx, ny, nz = self.shape
+        if min(self.shape) < 1:
+            raise ValueError(f"grid shape must be positive, got {self.shape}")
+        if np.min(self.tau) <= 0.5:
+            raise ValueError(
+                f"tau={self.tau} <= 0.5 gives non-positive viscosity"
+            )
+        if isinstance(self.tau, np.ndarray) and self.tau.shape != self.shape:
+            raise ValueError("tau field must match the grid shape")
+        self.origin = np.asarray(self.origin, dtype=np.float64)
+        self.f = np.empty((D3Q19.Q, nx, ny, nz), dtype=np.float64)
+        #: Post-collision scratch buffer, reused every step to avoid churn.
+        self.f_post = np.empty_like(self.f)
+        self.solid = np.zeros(self.shape, dtype=bool)
+        #: Body-force density per node (3, nx, ny, nz), lattice units.
+        self.force = np.zeros((3, nx, ny, nz), dtype=np.float64)
+        self.init_equilibrium()
+
+    # ------------------------------------------------------------------
+    def init_equilibrium(
+        self,
+        rho: float | np.ndarray = 1.0,
+        velocity: np.ndarray | None = None,
+    ) -> None:
+        """Set distributions to the Maxwell-Boltzmann equilibrium."""
+        nx, ny, nz = self.shape
+        rho_arr = np.broadcast_to(np.asarray(rho, float), self.shape)
+        if velocity is None:
+            u = np.zeros((3, nx, ny, nz))
+        else:
+            u = np.broadcast_to(np.asarray(velocity, float), (3, nx, ny, nz))
+        self.f[:] = equilibrium(rho_arr, u)
+
+    # ------------------------------------------------------------------
+    @property
+    def nu(self) -> float | np.ndarray:
+        """Lattice kinematic viscosity implied by ``tau`` (scalar or field)."""
+        return D3Q19.cs2 * (self.tau - 0.5)
+
+    def tau_at(self, indices: np.ndarray) -> np.ndarray:
+        """Relaxation time at integer node indices (N, 3), field or scalar."""
+        indices = np.atleast_2d(indices)
+        if isinstance(self.tau, np.ndarray):
+            return self.tau[indices[:, 0], indices[:, 1], indices[:, 2]]
+        return np.full(len(indices), float(self.tau))
+
+    @property
+    def n_fluid(self) -> int:
+        """Number of fluid (non-solid) nodes."""
+        return int((~self.solid).sum())
+
+    def node_positions(self) -> np.ndarray:
+        """Physical coordinates of every node, shape (nx, ny, nz, 3)."""
+        axes = [
+            self.origin[d] + self.spacing * np.arange(self.shape[d])
+            for d in range(3)
+        ]
+        xg, yg, zg = np.meshgrid(*axes, indexing="ij")
+        return np.stack([xg, yg, zg], axis=-1)
+
+    def axis_coords(self, d: int) -> np.ndarray:
+        """Physical coordinates of nodes along axis ``d``."""
+        return self.origin[d] + self.spacing * np.arange(self.shape[d])
+
+    def contains(self, points: np.ndarray, margin: float = 0.0) -> np.ndarray:
+        """Boolean mask of which physical ``points`` (N, 3) lie on this grid.
+
+        ``margin`` shrinks the grid's bounding box by a physical distance on
+        every face (used to test for the window-proper interior etc.).
+        """
+        points = np.atleast_2d(points)
+        lo = self.origin + margin
+        hi = self.origin + self.spacing * (np.array(self.shape) - 1) - margin
+        return np.all((points >= lo) & (points <= hi), axis=1)
+
+    def physical_to_index(self, points: np.ndarray) -> np.ndarray:
+        """Fractional lattice indices of physical points (N, 3)."""
+        points = np.atleast_2d(points)
+        return (points - self.origin) / self.spacing

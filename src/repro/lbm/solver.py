@@ -1,0 +1,101 @@
+"""Single-grid LBM solver loop: collide -> stream -> boundary handlers.
+
+:class:`LBMSolver` owns one :class:`~repro.lbm.grid.Grid` and an ordered
+list of boundary handlers.  It is the building block both for the coarse
+bulk solver and for the fine window solver (which additionally runs the
+immersed-boundary fluid-structure interaction; see :mod:`repro.fsi`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol, Sequence
+
+import numpy as np
+
+from .collision import collide_bgk, macroscopic
+from .grid import Grid
+from .streaming import stream_pull
+
+
+class BoundaryHandler(Protocol):
+    """Anything with apply(f_new, f_post) called after streaming."""
+
+    def apply(self, f_new: np.ndarray, f_post: np.ndarray) -> None: ...
+
+
+class LBMSolver:
+    """Collide-stream driver for one lattice level.
+
+    Parameters
+    ----------
+    grid:
+        The lattice state to evolve.
+    boundaries:
+        Handlers applied in order after each streaming step.
+    pre_collision_hook:
+        Optional callable invoked with the solver before each collision;
+        the FSI layer uses this to spread membrane forces into
+        ``grid.force`` (Eq. 6 of the paper).
+    """
+
+    def __init__(
+        self,
+        grid: Grid,
+        boundaries: Sequence[BoundaryHandler] = (),
+        pre_collision_hook: Callable[["LBMSolver"], None] | None = None,
+        collision: str = "bgk",
+    ) -> None:
+        self.grid = grid
+        self.boundaries = list(boundaries)
+        self.pre_collision_hook = pre_collision_hook
+        if collision not in ("bgk", "mrt"):
+            raise ValueError(f"unknown collision operator {collision!r}")
+        if collision == "mrt" and isinstance(grid.tau, np.ndarray):
+            raise ValueError("MRT collision requires a uniform tau")
+        self.collision = collision
+        self.step_count = 0
+        # Last macroscopic fields, refreshed each step (pre-collision values).
+        self.rho = np.ones(grid.shape)
+        self.u = np.zeros((3,) + grid.shape)
+
+    def _collide(self):
+        g = self.grid
+        if self.collision == "mrt":
+            if np.any(g.force):
+                raise NotImplementedError(
+                    "MRT collision does not support body forces; use BGK "
+                    "for forced/FSI lattices (the paper's configuration)"
+                )
+            from .mrt import collide_mrt
+
+            return collide_mrt(g.f, float(g.tau), out=g.f_post)
+        return collide_bgk(g.f, g.tau, g.force, out=g.f_post)
+
+    def step(self, n: int = 1) -> None:
+        """Advance the lattice by ``n`` time steps."""
+        g = self.grid
+        for _ in range(n):
+            if self.pre_collision_hook is not None:
+                self.pre_collision_hook(self)
+            f_post, self.rho, self.u = self._collide()
+            stream_pull(f_post, out=g.f)
+            for bc in self.boundaries:
+                bc.apply(g.f, f_post)
+            self.step_count += 1
+
+    def macroscopic(self) -> tuple[np.ndarray, np.ndarray]:
+        """Current density and velocity (with half-force correction)."""
+        return macroscopic(self.grid.f, self.grid.force)
+
+    def momentum(self) -> np.ndarray:
+        """Total fluid momentum over non-solid nodes (diagnostics)."""
+        rho, u = self.macroscopic()
+        fluid = ~self.grid.solid
+        return np.array(
+            [np.sum((rho * u[d])[fluid]) for d in range(3)]
+        )
+
+    def mass(self) -> float:
+        """Total fluid mass over non-solid nodes (diagnostics)."""
+        rho, _ = self.macroscopic()
+        return float(rho[~self.grid.solid].sum())

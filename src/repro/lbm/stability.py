@@ -1,0 +1,127 @@
+"""Parameter-choice advisor for LBM/FSI runs.
+
+Choosing (dx, dt, tau) for a target physical viscosity and flow speed is
+the first thing every downstream user gets wrong.  These helpers encode
+the constraints the paper's setups respect:
+
+* tau comfortably above 1/2 (BGK accuracy/stability degrades toward the
+  limit; Eq. 7 drags tau_f down at strong viscosity contrast);
+* lattice Mach number u_lat * sqrt(3) below ~0.1 (weak compressibility);
+* IBM/membrane explicit coupling limit: the displacement produced by the
+  stiffest membrane force over one step must stay well under a lattice
+  spacing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..units import UnitSystem
+
+
+@dataclass(frozen=True)
+class StabilityReport:
+    """Outcome of a parameter check, with human-readable diagnostics."""
+
+    ok: bool
+    tau: float
+    mach: float
+    messages: tuple
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        status = "OK" if self.ok else "UNSTABLE SETTINGS"
+        return f"[{status}] tau={self.tau:.3f} Ma={self.mach:.3f}\n" + "\n".join(
+            self.messages
+        )
+
+
+def check_parameters(
+    units: UnitSystem,
+    nu: float,
+    u_max: float,
+    tau_min: float = 0.55,
+    tau_max: float = 2.0,
+    mach_max: float = 0.1,
+) -> StabilityReport:
+    """Check a (units, viscosity, peak velocity) combination.
+
+    Parameters
+    ----------
+    units:
+        Candidate lattice units.
+    nu:
+        Target physical kinematic viscosity [m^2/s].
+    u_max:
+        Expected peak physical velocity [m/s].
+    """
+    tau = units.tau_for_viscosity(nu)
+    u_lat = units.velocity_to_lattice(u_max)
+    mach = u_lat * np.sqrt(3.0)
+    messages = []
+    ok = True
+    if tau < tau_min:
+        ok = False
+        messages.append(
+            f"tau={tau:.3f} < {tau_min}: BGK accuracy degrades; increase dt "
+            "or coarsen dx (or switch the window to MRT collision)"
+        )
+    if tau > tau_max:
+        ok = False
+        messages.append(
+            f"tau={tau:.3f} > {tau_max}: over-relaxed lattice; decrease dt"
+        )
+    if mach > mach_max:
+        ok = False
+        messages.append(
+            f"lattice Mach {mach:.3f} > {mach_max}: compressibility errors; "
+            "decrease dt or increase dx"
+        )
+    if not messages:
+        messages.append("parameters within the recommended envelope")
+    return StabilityReport(ok=ok, tau=tau, mach=mach, messages=tuple(messages))
+
+
+def suggest_dt(
+    dx: float,
+    nu: float,
+    u_max: float,
+    tau_target: float = 1.0,
+    mach_max: float = 0.1,
+) -> float:
+    """Largest dt satisfying both the tau target and the Mach bound.
+
+    dt_tau realizes ``tau_target`` for the given (dx, nu); dt_mach caps
+    the lattice velocity.  The returned dt is the smaller of the two.
+    """
+    if dx <= 0 or nu <= 0 or u_max <= 0:
+        raise ValueError("dx, nu and u_max must be positive")
+    dt_tau = (tau_target - 0.5) / 3.0 * dx**2 / nu
+    dt_mach = mach_max / np.sqrt(3.0) * dx / u_max
+    return float(min(dt_tau, dt_mach))
+
+
+def membrane_coupling_limit(
+    units: UnitSystem,
+    shear_modulus: float,
+    vertex_spacing: float,
+    safety: float = 0.05,
+) -> float:
+    """Crude explicit-coupling bound on the membrane stiffness.
+
+    A vertex carrying a force ~ Gs (the in-plane scale for order-one
+    strain) accelerates fluid of one kernel support; requiring the
+    per-step induced displacement to stay under ``safety`` lattice
+    spacings yields a maximum usable Gs for the given units.  Returns the
+    ratio (requested Gs) / (max Gs): values above 1 indicate the explicit
+    coupling may oscillate (add membrane damping or reduce dt).
+    """
+    if vertex_spacing <= 0:
+        raise ValueError("vertex spacing must be positive")
+    # Force Gs acting on a fluid mass of one kernel cube for one step:
+    kernel_mass = units.rho * (2.0 * units.dx) ** 3
+    dv = shear_modulus * units.dt / kernel_mass  # velocity kick [m/s]
+    displacement = dv * units.dt
+    max_disp = safety * units.dx
+    return float(displacement / max_disp)

@@ -1,0 +1,50 @@
+"""Streaming step for the D3Q19 lattice.
+
+Pull scheme: after collision, each node pulls the population travelling in
+direction ``c_i`` from its upwind neighbor ``x - c_i``.  The base operation
+is periodic (``np.roll``); boundary handlers (bounce-back walls, inlets,
+outlets) then overwrite the populations that wrapped around or crossed a
+solid boundary.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .lattice import D3Q19
+
+
+def stream_pull(f_post: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+    """Periodic pull streaming: out_i(x) = f_post_i(x - c_i).
+
+    Parameters
+    ----------
+    f_post:
+        Post-collision distributions (19, nx, ny, nz).
+    out:
+        Optional destination array (must not alias ``f_post``).
+    """
+    if out is None:
+        out = np.empty_like(f_post)
+    if out is f_post:
+        raise ValueError("streaming cannot be done in place")
+    for i in range(D3Q19.Q):
+        cx, cy, cz = D3Q19.c[i]
+        out[i] = np.roll(f_post[i], shift=(cx, cy, cz), axis=(0, 1, 2))
+    return out
+
+
+def upwind_solid_masks(solid: np.ndarray) -> np.ndarray:
+    """Per-direction masks of nodes whose pull source is a solid node.
+
+    Returns a boolean array (19, nx, ny, nz): entry ``[i, x]`` is True when
+    ``x - c_i`` is solid, i.e. the population f_i(x) arriving at fluid node
+    ``x`` must be supplied by the bounce-back rule instead of streaming.
+    Rest direction (i = 0) is always False.
+    """
+    masks = np.zeros((D3Q19.Q,) + solid.shape, dtype=bool)
+    for i in range(1, D3Q19.Q):
+        cx, cy, cz = D3Q19.c[i]
+        masks[i] = np.roll(solid, shift=(cx, cy, cz), axis=(0, 1, 2))
+    masks &= ~solid[None]
+    return masks

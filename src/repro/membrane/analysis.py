@@ -1,0 +1,93 @@
+"""Cell shape analysis: deformation metrics.
+
+Quantifies how deformed a cell is — the quantity behind the paper's
+"physiologically deformed RBCs" requirement (Section 2.4.2) and the
+deformed-CTC rendering of Fig. 9.  Standard metrics from the RBC
+literature:
+
+* **Taylor deformation parameter** D = (L - B) / (L + B) from the
+  principal semi-axes of the inertia-equivalent ellipsoid;
+* **asphericity** of the gyration tensor (0 for a sphere);
+* **elongation index** L/B;
+* **strain energy density** relative to the unstressed shape.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def gyration_tensor(vertices: np.ndarray) -> np.ndarray:
+    """Gyration tensor of the vertex cloud, shape (3, 3)."""
+    v = np.asarray(vertices, dtype=np.float64)
+    rel = v - v.mean(axis=0)
+    return rel.T @ rel / len(rel)
+
+
+def principal_semi_axes(vertices: np.ndarray) -> np.ndarray:
+    """Semi-axes (descending) of the gyration-equivalent ellipsoid.
+
+    For a uniform surface sampling of an ellipsoid with semi-axes
+    (a, b, c) the gyration eigenvalues are proportional to the squared
+    semi-axes; the returned values are the square roots scaled to match
+    a sphere of the same RMS radius exactly.
+    """
+    g = gyration_tensor(vertices)
+    eig = np.sort(np.linalg.eigvalsh(g))[::-1]
+    # Surface-sampled sphere of radius R: eigenvalues R^2/3 each.
+    return np.sqrt(3.0 * np.clip(eig, 0.0, None))
+
+
+def taylor_deformation(vertices: np.ndarray) -> float:
+    """Taylor parameter D = (L - B)/(L + B); 0 for a sphere."""
+    a = principal_semi_axes(vertices)
+    L, B = a[0], a[-1]
+    if L + B == 0.0:
+        return 0.0
+    return float((L - B) / (L + B))
+
+
+def elongation_index(vertices: np.ndarray) -> float:
+    """Major/minor semi-axis ratio L/B (1 for a sphere)."""
+    a = principal_semi_axes(vertices)
+    if a[-1] == 0.0:
+        return np.inf
+    return float(a[0] / a[-1])
+
+
+def asphericity(vertices: np.ndarray) -> float:
+    """Normalized asphericity of the gyration tensor in [0, 1].
+
+    0 for spherically symmetric clouds; 1 for a line.
+    """
+    eig = np.sort(np.linalg.eigvalsh(gyration_tensor(vertices)))
+    tr = eig.sum()
+    if tr == 0.0:
+        return 0.0
+    num = (
+        (eig[0] - eig[1]) ** 2 + (eig[1] - eig[2]) ** 2 + (eig[2] - eig[0]) ** 2
+    ) / 2.0
+    return float(num / tr**2)
+
+
+def deformation_report(cell) -> dict[str, float]:
+    """Shape metrics plus stored elastic energy for one Cell."""
+    from .bending import bending_energy
+    from .skalak import skalak_energy
+
+    verts = cell.vertices - cell.centroid()
+    ref = cell.reference
+    return {
+        "taylor": taylor_deformation(verts),
+        "elongation": elongation_index(verts),
+        "asphericity": asphericity(verts),
+        "taylor_reference": taylor_deformation(ref.vertices),
+        "skalak_energy": float(
+            skalak_energy(verts, ref, cell.shear_modulus, cell.skalak_C)
+        ),
+        "bending_energy": float(
+            bending_energy(verts, ref.quads, ref.theta0, cell.k_bend)
+        ),
+        "volume_strain": cell.volume() / ref.volume0 - 1.0,
+        "area_strain": cell.area() / ref.area0 - 1.0,
+    }

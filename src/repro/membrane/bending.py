@@ -1,0 +1,111 @@
+"""Discrete bending resistance via dihedral-angle springs.
+
+Stands in for the paper's Loop-subdivision Helfrich FEM (Eq. 3): the
+bending energy is
+
+    E_b = k_b * sum_edges (theta_e - theta0_e)^2
+
+over interior edges, where theta is the signed dihedral angle between the
+two incident faces and theta0 its value on the unstressed mesh (shape
+memory, playing the role of the spontaneous curvature c0).  For a
+hexagonal lattice this discretization converges to the Helfrich energy
+with continuum modulus E_b_helfrich = (sqrt(3)/2) * k_b_spring for the
+(1 - cos) form; :func:`dihedral_k_from_helfrich` applies the small-angle
+equivalent mapping for the quadratic form used here.
+
+Forces are the exact analytic gradient of the discrete energy (validated
+against finite differences in the test suite); they sum to zero and carry
+no net torque, as required of internal elastic forces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+SQRT3 = np.sqrt(3.0)
+
+
+def dihedral_k_from_helfrich(bending_modulus: float) -> float:
+    """Dihedral spring constant k_b [J] equivalent to a Helfrich modulus."""
+    return 2.0 * bending_modulus / SQRT3
+
+
+def _edge_geometry(vertices: np.ndarray, quads: np.ndarray):
+    """Shared geometric quantities for angle and gradient evaluation."""
+    v = np.asarray(vertices, dtype=np.float64)
+    x1 = v[..., quads[:, 0], :]
+    x2 = v[..., quads[:, 1], :]
+    x3 = v[..., quads[:, 2], :]
+    x4 = v[..., quads[:, 3], :]
+    e = x2 - x1
+    nA = np.cross(x2 - x1, x3 - x1)  # face (v1, v2, v3)
+    nB = np.cross(x4 - x1, x2 - x1)  # face (v2, v1, v4) oriented consistently
+    return x1, x2, x3, x4, e, nA, nB
+
+
+def dihedral_angles(vertices: np.ndarray, quads: np.ndarray) -> np.ndarray:
+    """Signed dihedral angle per interior edge, shape (..., E).
+
+    Zero for coplanar faces; the sign convention follows the half-edge
+    orientation baked into :func:`repro.membrane.topology.bending_pairs`,
+    so a convex closed surface has angles of uniform sign.
+    """
+    _, _, _, _, e, nA, nB = _edge_geometry(vertices, quads)
+    e_len = np.linalg.norm(e, axis=-1)
+    nA_hat = nA / np.linalg.norm(nA, axis=-1, keepdims=True)
+    nB_hat = nB / np.linalg.norm(nB, axis=-1, keepdims=True)
+    cos_t = np.einsum("...a,...a->...", nA_hat, nB_hat)
+    sin_t = np.einsum("...a,...a->...", np.cross(nA_hat, nB_hat), e) / e_len
+    return np.arctan2(sin_t, np.clip(cos_t, -1.0, 1.0))
+
+
+def dihedral_angle_gradients(vertices: np.ndarray, quads: np.ndarray):
+    """Gradients of each dihedral angle w.r.t. its four vertices.
+
+    Returns (g1, g2, g3, g4), each (..., E, 3), satisfying
+    g1 + g2 + g3 + g4 = 0 (translation invariance).
+    """
+    x1, x2, x3, x4, e, nA, nB = _edge_geometry(vertices, quads)
+    l2 = np.einsum("...a,...a->...", e, e)
+    l = np.sqrt(l2)
+    nA2 = np.einsum("...a,...a->...", nA, nA)
+    nB2 = np.einsum("...a,...a->...", nB, nB)
+    gA = -(l / nA2)[..., None] * nA  # d(theta)/d(x3)
+    gB = -(l / nB2)[..., None] * nB  # d(theta)/d(x4)
+    alpha = (np.einsum("...a,...a->...", x3 - x1, e) / l2)[..., None]
+    beta = (np.einsum("...a,...a->...", x4 - x1, e) / l2)[..., None]
+    g3 = gA
+    g4 = gB
+    g1 = -(1.0 - alpha) * gA - (1.0 - beta) * gB
+    g2 = -alpha * gA - beta * gB
+    return g1, g2, g3, g4
+
+
+def bending_energy(
+    vertices: np.ndarray,
+    quads: np.ndarray,
+    theta0: np.ndarray,
+    k_bend: float,
+) -> np.ndarray:
+    """Total dihedral bending energy, shape (...) over batch axes [J]."""
+    theta = dihedral_angles(vertices, quads)
+    return k_bend * ((theta - theta0) ** 2).sum(axis=-1)
+
+
+def bending_forces(
+    vertices: np.ndarray,
+    quads: np.ndarray,
+    theta0: np.ndarray,
+    k_bend: float,
+) -> np.ndarray:
+    """Nodal bending forces -dE_b/dx, shape (..., V, 3) [N]."""
+    v = np.asarray(vertices, dtype=np.float64)
+    theta = dihedral_angles(v, quads)
+    g1, g2, g3, g4 = dihedral_angle_gradients(v, quads)
+    from .constraints import _scatter_add
+
+    coeff = (-2.0 * k_bend * (theta - theta0))[..., None]
+    force = np.zeros_like(v)
+    for g, col in ((g1, 0), (g2, 1), (g3, 2), (g4, 3)):
+        _scatter_add(force, quads[:, col], coeff * g)
+    return force

@@ -1,0 +1,119 @@
+"""Surface area and enclosed volume: measures, gradients, penalty forces.
+
+RBC membranes are locally nearly area-incompressible (handled by the
+Skalak C term of Eq. 2) and the cytosol is incompressible, so cell models
+add weak global-area and volume restoring forces.  Both penalties derive
+from exact analytic gradients of the discrete area/volume, so the forces
+are conservative.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _face_corners(vertices: np.ndarray, faces: np.ndarray):
+    v = np.asarray(vertices, dtype=np.float64)
+    return (
+        v[..., faces[:, 0], :],
+        v[..., faces[:, 1], :],
+        v[..., faces[:, 2], :],
+    )
+
+
+def face_areas(vertices: np.ndarray, faces: np.ndarray) -> np.ndarray:
+    """Triangle areas, shape (..., F)."""
+    x0, x1, x2 = _face_corners(vertices, faces)
+    n = np.cross(x1 - x0, x2 - x0)
+    return 0.5 * np.linalg.norm(n, axis=-1)
+
+
+def mesh_area(vertices: np.ndarray, faces: np.ndarray) -> np.ndarray:
+    """Total surface area, shape (...) over batch axes."""
+    return face_areas(vertices, faces).sum(axis=-1)
+
+
+def mesh_volume(vertices: np.ndarray, faces: np.ndarray) -> np.ndarray:
+    """Signed enclosed volume via the divergence theorem, shape (...).
+
+    Positive for outward-oriented (CCW seen from outside) faces.
+    """
+    x0, x1, x2 = _face_corners(vertices, faces)
+    return np.einsum("...a,...a->...", np.cross(x0, x1), x2).sum(axis=-1) / 6.0
+
+
+def _scatter_add(out: np.ndarray, idx: np.ndarray, vals: np.ndarray) -> None:
+    """Accumulate per-face vertex contributions, batched over leading axes.
+
+    ``out`` is (..., V, 3), ``idx`` is (F,), ``vals`` is (..., F, 3).
+    Uses bincount (fast dense scatter) with the batch folded into the
+    index space.
+    """
+    nv = out.shape[-2]
+    flat = out.reshape(-1, nv, 3)
+    vflat = vals.reshape(-1, vals.shape[-2], 3)
+    b = flat.shape[0]
+    batch_idx = (np.arange(b)[:, None] * nv + idx[None, :]).reshape(-1)
+    for d in range(3):
+        flat[:, :, d] += np.bincount(
+            batch_idx, weights=vflat[:, :, d].reshape(-1), minlength=b * nv
+        ).reshape(b, nv)
+
+
+def area_gradient(vertices: np.ndarray, faces: np.ndarray) -> np.ndarray:
+    """d(total area)/d(vertices), shape (..., V, 3).
+
+    For a triangle (x0, x1, x2) with unit normal n_hat,
+    dA/dx0 = 0.5 * n_hat x (x2 - x1), and cyclic permutations.
+    """
+    v = np.asarray(vertices, dtype=np.float64)
+    x0, x1, x2 = _face_corners(v, faces)
+    n = np.cross(x1 - x0, x2 - x0)
+    n_hat = n / np.linalg.norm(n, axis=-1, keepdims=True)
+    grad = np.zeros_like(v)
+    _scatter_add(grad, faces[:, 0], 0.5 * np.cross(n_hat, x2 - x1))
+    _scatter_add(grad, faces[:, 1], 0.5 * np.cross(n_hat, x0 - x2))
+    _scatter_add(grad, faces[:, 2], 0.5 * np.cross(n_hat, x1 - x0))
+    return grad
+
+
+def volume_gradient(vertices: np.ndarray, faces: np.ndarray) -> np.ndarray:
+    """d(enclosed volume)/d(vertices), shape (..., V, 3).
+
+    From V = (1/6) sum (x0 x x1) . x2:  dV/dx0 = (x1 x x2)/6, cyclic.
+    """
+    v = np.asarray(vertices, dtype=np.float64)
+    x0, x1, x2 = _face_corners(v, faces)
+    grad = np.zeros_like(v)
+    _scatter_add(grad, faces[:, 0], np.cross(x1, x2) / 6.0)
+    _scatter_add(grad, faces[:, 1], np.cross(x2, x0) / 6.0)
+    _scatter_add(grad, faces[:, 2], np.cross(x0, x1) / 6.0)
+    return grad
+
+
+def area_volume_forces(
+    vertices: np.ndarray,
+    faces: np.ndarray,
+    area0: float,
+    volume0: float,
+    k_area: float,
+    k_volume: float,
+) -> np.ndarray:
+    """Global area + volume penalty forces, shape (..., V, 3).
+
+    Energies E_A = k_area/2 * (A - A0)^2 / A0 and
+    E_V = k_volume/2 * (V - V0)^2 / V0; forces are exact negative
+    gradients.  ``k_area`` has units N/m (like a modulus); ``k_volume``
+    has units N/m^2.
+    """
+    v = np.asarray(vertices, dtype=np.float64)
+    force = np.zeros_like(v)
+    if k_area != 0.0:
+        A = mesh_area(v, faces)
+        coeff = -k_area * (A - area0) / area0
+        force += coeff[..., None, None] * area_gradient(v, faces)
+    if k_volume != 0.0:
+        V = mesh_volume(v, faces)
+        coeff = -k_volume * (V - volume0) / volume0
+        force += coeff[..., None, None] * volume_gradient(v, faces)
+    return force

@@ -1,0 +1,64 @@
+"""Membrane viscous damping (edge dashpots).
+
+Real RBC membranes dissipate: the lipid bilayer/spectrin network has a
+surface viscosity that damps shape oscillations.  The standard discrete
+model (Fedosov et al.) places dashpots on mesh edges, resisting the rate
+of change of edge length:
+
+    F_i = -gamma * [(v_i - v_j) . e_hat] e_hat     on edge (i, j)
+
+This force is dissipative (P = -gamma sum |rel. axial velocity|^2 <= 0),
+momentum-free and torque-free.  It also stabilizes the explicit IBM
+coupling at large membrane stiffness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def edge_damping_forces(
+    vertices: np.ndarray,
+    velocities: np.ndarray,
+    edges: np.ndarray,
+    gamma: float,
+) -> np.ndarray:
+    """Dashpot forces on every vertex, shape (..., V, 3).
+
+    Parameters
+    ----------
+    vertices, velocities:
+        Current positions and velocities, (..., V, 3).
+    edges:
+        Unique mesh edges (E, 2).
+    gamma:
+        Damping coefficient [N s/m].
+    """
+    v = np.asarray(vertices, dtype=np.float64)
+    vel = np.asarray(velocities, dtype=np.float64)
+    if vel.shape != v.shape:
+        raise ValueError("velocities must match vertices in shape")
+    i, j = edges[:, 0], edges[:, 1]
+    d = v[..., j, :] - v[..., i, :]
+    length = np.linalg.norm(d, axis=-1, keepdims=True)
+    e_hat = d / np.maximum(length, 1e-300)
+    rel = vel[..., j, :] - vel[..., i, :]
+    axial = np.einsum("...a,...a->...", rel, e_hat)[..., None]
+    f_pair = gamma * axial * e_hat  # force on i (pulls along closing rate)
+    force = np.zeros_like(v)
+    from .constraints import _scatter_add
+
+    _scatter_add(force, i, f_pair)
+    _scatter_add(force, j, -f_pair)
+    return force
+
+
+def dissipation_rate(
+    vertices: np.ndarray,
+    velocities: np.ndarray,
+    edges: np.ndarray,
+    gamma: float,
+) -> np.ndarray:
+    """Instantaneous power dissipated by the dashpots (always <= 0)."""
+    f = edge_damping_forces(vertices, velocities, edges, gamma)
+    return np.einsum("...va,...va->...", f, np.asarray(velocities, dtype=np.float64))

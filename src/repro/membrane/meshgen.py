@@ -1,0 +1,113 @@
+"""Cell surface mesh generation.
+
+The paper's RBC mesh is an icosahedron refined by 3 subdivision steps
+(Section 3.6): 642 vertices and 1280 triangular elements.  RBC geometry
+follows the Evans-Fung biconcave discocyte; CTCs are spheres (stiff,
+rounded tumor cells).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Evans & Fung (1972) biconcave shape coefficients for a cell of
+#: radius R0 = 3.91 um: thickness profile z(rho) with rho = r/R0.
+EVANS_FUNG_R0 = 3.91e-6
+EVANS_FUNG_C0 = 0.81e-6
+EVANS_FUNG_C1 = 7.83e-6
+EVANS_FUNG_C2 = -4.39e-6
+
+
+def icosphere(subdivisions: int = 3, radius: float = 1.0) -> tuple[np.ndarray, np.ndarray]:
+    """Geodesic sphere from recursive icosahedron subdivision.
+
+    Each subdivision splits every triangle in four and reprojects the new
+    vertices onto the sphere.  Level 3 yields the paper's 642-vertex /
+    1280-element mesh.
+
+    Returns
+    -------
+    vertices : (V, 3) float array on the sphere of given ``radius``
+    faces : (F, 3) int array with outward-oriented (CCW from outside) faces
+    """
+    if subdivisions < 0:
+        raise ValueError("subdivisions must be >= 0")
+    phi = (1.0 + np.sqrt(5.0)) / 2.0
+    verts = np.array(
+        [
+            (-1, phi, 0), (1, phi, 0), (-1, -phi, 0), (1, -phi, 0),
+            (0, -1, phi), (0, 1, phi), (0, -1, -phi), (0, 1, -phi),
+            (phi, 0, -1), (phi, 0, 1), (-phi, 0, -1), (-phi, 0, 1),
+        ],
+        dtype=np.float64,
+    )
+    verts /= np.linalg.norm(verts, axis=1, keepdims=True)
+    faces = np.array(
+        [
+            (0, 11, 5), (0, 5, 1), (0, 1, 7), (0, 7, 10), (0, 10, 11),
+            (1, 5, 9), (5, 11, 4), (11, 10, 2), (10, 7, 6), (7, 1, 8),
+            (3, 9, 4), (3, 4, 2), (3, 2, 6), (3, 6, 8), (3, 8, 9),
+            (4, 9, 5), (2, 4, 11), (6, 2, 10), (8, 6, 7), (9, 8, 1),
+        ],
+        dtype=np.int64,
+    )
+
+    for _ in range(subdivisions):
+        vert_list = list(verts)
+        midpoint_cache: dict[tuple[int, int], int] = {}
+
+        def midpoint(i: int, j: int) -> int:
+            key = (i, j) if i < j else (j, i)
+            cached = midpoint_cache.get(key)
+            if cached is not None:
+                return cached
+            m = vert_list[i] + vert_list[j]
+            m = m / np.linalg.norm(m)
+            vert_list.append(m)
+            idx = len(vert_list) - 1
+            midpoint_cache[key] = idx
+            return idx
+
+        new_faces = []
+        for a, b, c in faces:
+            ab = midpoint(a, b)
+            bc = midpoint(b, c)
+            ca = midpoint(c, a)
+            new_faces.extend([(a, ab, ca), (b, bc, ab), (c, ca, bc), (ab, bc, ca)])
+        verts = np.array(vert_list)
+        faces = np.array(new_faces, dtype=np.int64)
+
+    return radius * verts, faces
+
+
+def sphere_cell(diameter: float, subdivisions: int = 3) -> tuple[np.ndarray, np.ndarray]:
+    """Spherical cell mesh of the given physical diameter (used for CTCs)."""
+    return icosphere(subdivisions, radius=diameter / 2.0)
+
+
+def biconcave_rbc(
+    diameter: float = 2.0 * EVANS_FUNG_R0, subdivisions: int = 3
+) -> tuple[np.ndarray, np.ndarray]:
+    """Biconcave discocyte RBC mesh (Evans-Fung parametrization).
+
+    A unit icosphere is mapped onto the discocyte: a point with axial
+    coordinate s_z and transverse radius rho = sqrt(1 - s_z^2) goes to
+    in-plane radius R0 * rho and thickness
+
+        z(rho) = +/- (1/2) sqrt(1 - rho^2) (C0 + C1 rho^2 + C2 rho^4),
+
+    continuous across the equator because z -> 0 as rho -> 1.  The mesh is
+    scaled so the maximum diameter equals ``diameter`` (default 7.82 um).
+    """
+    verts, faces = icosphere(subdivisions, radius=1.0)
+    scale = (diameter / 2.0) / EVANS_FUNG_R0
+    sx, sy, sz = verts[:, 0], verts[:, 1], verts[:, 2]
+    rho2 = np.clip(sx**2 + sy**2, 0.0, 1.0)
+    half_thickness = 0.5 * np.sqrt(np.clip(1.0 - rho2, 0.0, None)) * (
+        EVANS_FUNG_C0 + EVANS_FUNG_C1 * rho2 + EVANS_FUNG_C2 * rho2**2
+    )
+    out = np.empty_like(verts)
+    out[:, 0] = EVANS_FUNG_R0 * sx * scale
+    out[:, 1] = EVANS_FUNG_R0 * sy * scale
+    out[:, 2] = np.sign(sz) * half_thickness * scale
+    return out, faces

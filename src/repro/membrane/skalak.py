@@ -1,0 +1,103 @@
+"""Skalak in-plane membrane elasticity (Eq. 2 of the paper).
+
+Per reference-area strain energy density:
+
+    W_s = (Gs/4) * (I1^2 + 2 I1 - 2 I2 + C I2^2)
+
+with strain invariants I1 = tr(G) - 2 and I2 = det(G) - 1 for the in-plane
+right Cauchy-Green tensor G = F^T F, shear modulus Gs, and area-dilation
+constant C.  The implementation is the standard linear-triangle membrane
+FEM: each deformed triangle and its reference are mapped into local 2D
+frames, the 2x2 deformation gradient F is formed from edge matrices, and
+nodal forces come from the exact first Piola-Kirchhoff stress
+
+    P = dW/dF = Gs (I1 + 1) F + Gs (C I2 - 1) det(G) F^{-T}
+
+which vanishes identically at the reference configuration.  Because W is
+rotation-invariant, differentiating inside the co-rotated local frame and
+rotating the nodal forces back to 3D gives the exact gradient.
+
+All routines accept a leading batch axis over cells sharing one topology.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .reference import ReferenceState, local_frame_edges
+
+
+def _deformation_gradient(vertices: np.ndarray, ref: ReferenceState):
+    """F (.., F, 2, 2), the deformed local frame, and face areas."""
+    Dd, e1, e2, area = local_frame_edges(vertices, ref.faces)
+    F = Dd @ ref.Dr_inv
+    return F, e1, e2, area
+
+
+def _invariants(F: np.ndarray):
+    """I1, I2 and det(G) from stacked 2x2 deformation gradients."""
+    G11 = F[..., 0, 0] ** 2 + F[..., 1, 0] ** 2
+    G22 = F[..., 0, 1] ** 2 + F[..., 1, 1] ** 2
+    detF = F[..., 0, 0] * F[..., 1, 1] - F[..., 0, 1] * F[..., 1, 0]
+    detG = detF**2
+    I1 = G11 + G22 - 2.0
+    I2 = detG - 1.0
+    return I1, I2, detG, detF
+
+
+def skalak_energy(
+    vertices: np.ndarray, ref: ReferenceState, Gs: float, C: float
+) -> np.ndarray:
+    """Total Skalak strain energy, shape (...) over batch axes [J]."""
+    F, _, _, _ = _deformation_gradient(vertices, ref)
+    I1, I2, _, _ = _invariants(F)
+    w = (Gs / 4.0) * (I1**2 + 2.0 * I1 - 2.0 * I2 + C * I2**2)
+    return (w * ref.ref_face_area).sum(axis=-1)
+
+
+def skalak_forces(
+    vertices: np.ndarray, ref: ReferenceState, Gs: float, C: float
+) -> np.ndarray:
+    """Nodal in-plane elastic forces, shape (..., V, 3) [N].
+
+    This is the surface force density G of the paper's Section 2.2
+    integrated over each vertex's support (lumped nodal forces), the
+    quantity spread onto the fluid by the immersed boundary method.
+    """
+    v = np.asarray(vertices, dtype=np.float64)
+    F, e1, e2, _ = _deformation_gradient(v, ref)
+    I1, I2, detG, detF = _invariants(F)
+
+    # First Piola-Kirchhoff stress P = dW/dF (2x2 per face).
+    coef_F = Gs * (I1 + 1.0)
+    coef_inv = Gs * (C * I2 - 1.0) * detG
+    # F^{-T} = (1/detF) [[F22, -F21], [-F12, F11]]
+    FinvT = np.empty_like(F)
+    FinvT[..., 0, 0] = F[..., 1, 1]
+    FinvT[..., 0, 1] = -F[..., 1, 0]
+    FinvT[..., 1, 0] = -F[..., 0, 1]
+    FinvT[..., 1, 1] = F[..., 0, 0]
+    FinvT /= detF[..., None, None]
+    P = coef_F[..., None, None] * F + coef_inv[..., None, None] * FinvT
+
+    # dW_face/dDd = A_ref * P * Dr_inv^T; columns give the energy gradient
+    # w.r.t. the local coordinates of edge vectors d1 = x1-x0, d2 = x2-x0.
+    dW_dDd = ref.ref_face_area[..., None, None] * (
+        P @ np.swapaxes(ref.Dr_inv, -1, -2)
+    )
+
+    # Local 2D nodal forces: f1 = -dW/dd1, f2 = -dW/dd2, f0 = -(f1+f2).
+    f1_loc = -dW_dDd[..., :, 0]
+    f2_loc = -dW_dDd[..., :, 1]
+
+    # Rotate back to 3D with the deformed in-plane frame.
+    f1 = f1_loc[..., 0:1] * e1 + f1_loc[..., 1:2] * e2
+    f2 = f2_loc[..., 0:1] * e1 + f2_loc[..., 1:2] * e2
+    f0 = -(f1 + f2)
+
+    from .constraints import _scatter_add
+
+    force = np.zeros_like(v)
+    for contrib, corner in ((f0, 0), (f1, 1), (f2, 2)):
+        _scatter_add(force, ref.faces[:, corner], contrib)
+    return force

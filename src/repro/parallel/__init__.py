@@ -1,0 +1,24 @@
+"""Virtual parallel runtime (substitute for Summit's MPI execution).
+
+The paper runs HARVEY on Summit with 42 MPI tasks per node (36 CPU bulk
+tasks + 6 GPU window tasks).  This package reproduces the *parallel
+structure* in-process: a block domain decomposition with D3Q19 halo
+exchange, a distributed LBM solver that is bit-identical to the
+single-grid solver, per-task byte/message accounting, and the CPU/GPU
+task-mapping rules — the measured communication volumes feed the scaling
+model of :mod:`repro.perfmodel` (Figs. 7-8).
+"""
+
+from .decomposition import BlockDecomposition, balanced_dims
+from .halo import HaloAccountant
+from .distributed import DistributedLBMSolver
+from .taskmap import TaskMap, summit_task_map
+
+__all__ = [
+    "BlockDecomposition",
+    "balanced_dims",
+    "HaloAccountant",
+    "DistributedLBMSolver",
+    "TaskMap",
+    "summit_task_map",
+]

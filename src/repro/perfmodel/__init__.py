@@ -1,0 +1,43 @@
+"""Performance, memory, and cost models (substitute for Summit/AWS runs).
+
+The paper's scaling and capability numbers (Figs. 1, 7, 8; Tables 2, 3;
+Sections 3.3, 3.6) were measured on hardware this reproduction cannot
+access.  This package rebuilds them as explicit models:
+
+* :mod:`repro.perfmodel.machine` — Summit and AWS node specifications.
+* :mod:`repro.perfmodel.memory` — the paper's own memory arithmetic
+  (408 B/fluid point, 51 kB/RBC) plus capacity/volume estimators
+  (Tables 2-3, Fig. 1).
+* :mod:`repro.perfmodel.scaling` — strong/weak scaling from a
+  compute + halo-communication time model whose communication volumes
+  match the measured virtual-runtime exchanges (Figs. 7-8).
+* :mod:`repro.perfmodel.costmodel` — node-hour comparisons APR vs eFSI
+  (Section 3.3's >10x saving, Fig. 9's mm/day projection).
+"""
+
+from .machine import MachineSpec, SUMMIT, AWS_P3_16XL
+from .memory import (
+    MemoryModel,
+    fluid_points_for_volume,
+    rbc_count_for_volume,
+    table2_fluid_volumes,
+    table3_memory,
+)
+from .scaling import ScalingModel, strong_scaling_curve, weak_scaling_curve
+from .costmodel import CostModel, node_hour_ratio
+
+__all__ = [
+    "MachineSpec",
+    "SUMMIT",
+    "AWS_P3_16XL",
+    "MemoryModel",
+    "fluid_points_for_volume",
+    "rbc_count_for_volume",
+    "table2_fluid_volumes",
+    "table3_memory",
+    "ScalingModel",
+    "strong_scaling_curve",
+    "weak_scaling_curve",
+    "CostModel",
+    "node_hour_ratio",
+]

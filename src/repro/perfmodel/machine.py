@@ -1,0 +1,84 @@
+"""Machine specifications for the performance and capacity models.
+
+Numbers come from the paper's artifact description and public system
+documentation: Summit nodes have 2x22-core POWER9 CPUs (512 GB DDR4) and
+6 NVIDIA V100 GPUs (16 GB HBM2 each) on NVLink at 25 GB/s per direction;
+the AWS instance has 8 V100s and 48 Xeon cores.  Lattice update rates are
+*calibration constants* of the scaling model (see DESIGN.md): they set
+absolute times, while the scaling shapes come from surface-to-volume and
+neighbor-count effects the virtual runtime measures directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """One node type of a target machine."""
+
+    name: str
+    cpu_cores: int
+    gpus: int
+    cpu_memory: float  # bytes
+    gpu_memory_each: float  # bytes
+    #: Fraction of GPU memory usable for simulation state (driver,
+    #: buffers, and code take the rest) — calibrated against Table 2.
+    gpu_memory_usable_fraction: float
+    cpu_memory_usable_fraction: float
+    #: Lattice-site updates per second for one CPU task (fluid only).
+    cpu_mlups_per_task: float
+    #: Lattice-site updates per second for one GPU task (fluid only).
+    gpu_mlups_per_task: float
+    #: Cell-vertex updates per second for one GPU task (FSI work).
+    gpu_cell_vertex_rate: float
+    #: Injection bandwidth per node [bytes/s] and per-message latency [s].
+    network_bandwidth: float
+    network_latency: float
+    nvlink_bandwidth: float  # CPU<->GPU transfer rate [bytes/s]
+
+    @property
+    def gpu_memory_total(self) -> float:
+        return self.gpus * self.gpu_memory_each
+
+    def gpu_memory_usable(self) -> float:
+        return self.gpu_memory_total * self.gpu_memory_usable_fraction
+
+    def cpu_memory_usable(self) -> float:
+        return self.cpu_memory * self.cpu_memory_usable_fraction
+
+
+#: Summit (ORNL): the paper's primary platform.
+SUMMIT = MachineSpec(
+    name="summit",
+    cpu_cores=42,  # 44 physical, 42 used for tasks (2 reserved)
+    gpus=6,
+    cpu_memory=512e9,
+    gpu_memory_each=16e9,
+    gpu_memory_usable_fraction=0.652,  # calibrated to Table 2's window row
+    cpu_memory_usable_fraction=0.85,
+    cpu_mlups_per_task=6.0e6,
+    gpu_mlups_per_task=900.0e6,
+    gpu_cell_vertex_rate=250.0e6,
+    network_bandwidth=23e9,  # dual-rail EDR InfiniBand per node
+    network_latency=1.5e-6,
+    nvlink_bandwidth=25e9,
+)
+
+#: AWS p3.16xlarge-class instance used for the cerebral study (Fig. 9).
+AWS_P3_16XL = MachineSpec(
+    name="aws-p3.16xlarge",
+    cpu_cores=48,
+    gpus=8,
+    cpu_memory=768e9,
+    gpu_memory_each=16e9,
+    gpu_memory_usable_fraction=0.652,
+    cpu_memory_usable_fraction=0.85,
+    cpu_mlups_per_task=5.0e6,
+    gpu_mlups_per_task=900.0e6,
+    gpu_cell_vertex_rate=250.0e6,
+    network_bandwidth=12.5e9,  # 100 Gbps
+    network_latency=20e-6,
+    nvlink_bandwidth=25e9,
+)

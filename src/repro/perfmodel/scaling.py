@@ -1,0 +1,190 @@
+"""Strong and weak scaling models (Figs. 7-8).
+
+Time per coupled step at node count N is modeled as
+
+    t(N) = max(t_cpu(N), t_gpu(N)) + t_comm(N) + t_coupling(N)
+
+* compute terms are (local points)/(task rate) — bulk on the 36 CPU
+  tasks, window fluid + cell FSI on the 6 GPU tasks per node;
+* t_comm is halo traffic: surface area of a task's block times the
+  stencil payload, divided by the node injection bandwidth, plus latency
+  per neighbor message.  The halo *volumes* follow exactly the same
+  surface-to-volume law the in-process virtual runtime measures (see
+  tests/parallel/test_scaling_inputs.py), and the neighbor count
+  saturates at the 2x2x2 decomposition — the paper's "full communication
+  volume at 8 nodes";
+* t_coupling is the CPU<->GPU window exchange over NVLink.
+
+Absolute rates are calibration constants from
+:mod:`repro.perfmodel.machine`; the reproduced quantities are the
+*shapes*: a ~6x speedup from 32 to 512 nodes with halo-driven breakdown
+(Fig. 7), and >=90% weak-scaling efficiency above the 8-node baseline
+with anomalously fast 1-4 node runs (Fig. 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..parallel.decomposition import BlockDecomposition, balanced_dims
+from ..parallel.taskmap import summit_task_map
+from .machine import SUMMIT, MachineSpec
+
+
+@dataclass
+class ScalingModel:
+    """Per-step time model for the coupled bulk+window simulation."""
+
+    machine: MachineSpec = SUMMIT
+    halo_width: int = 2  # IBM support needs >1 lattice point of halo
+    bytes_per_halo_point: float = 19 * 8.0  # one D3Q19 population set
+    #: Fixed per-coarse-step orchestration cost [s]: kernel launches,
+    #: CPU<->GPU synchronization, MPI progress.  Calibrated so the Fig. 7
+    #: strong-scaling curve saturates near the paper's ~6x at 512 nodes.
+    fixed_overhead: float = 0.18
+    #: Relative network-contention growth per doubling of node count
+    #: beyond 8 nodes (interference from other jobs' traffic, Section 3.4).
+    contention_per_doubling: float = 0.04
+
+    # -- helpers ---------------------------------------------------------
+    def _block_geometry(self, total_points: float, n_tasks: int) -> tuple[float, float]:
+        """(points per task, halo points per task) for a cubic block."""
+        local = total_points / n_tasks
+        side = local ** (1.0 / 3.0)
+        halo = (side + 2 * self.halo_width) ** 3 - local
+        return local, halo
+
+    def _neighbor_fraction(self, n_nodes: int) -> float:
+        """Fraction of full neighbor connectivity realized at N nodes.
+
+        Mirrors the decomposition: with fewer than 8 nodes some axes are
+        unsplit, so tasks see fewer distinct neighbors and communication
+        volume has not reached its asymptote (the paper's explanation of
+        the fast 1-4 node runs in Fig. 8).
+        """
+        if n_nodes >= 8:
+            return 1.0
+        dims = balanced_dims(n_nodes, (10**6,) * 3)
+        # Count split axes; each contributes a pair of exchange faces.
+        split_axes = sum(1 for d in dims if d > 1)
+        return split_axes / 3.0
+
+    # -- per-step times ----------------------------------------------------
+    def step_time(
+        self,
+        n_nodes: int,
+        bulk_points: float,
+        window_points: float,
+        n_cells: float,
+        vertices_per_cell: float = 642,
+        fine_substeps: int = 10,
+    ) -> dict[str, float]:
+        """Component times for one coarse step at ``n_nodes`` nodes [s]."""
+        m = self.machine
+        tm = summit_task_map(n_nodes)
+
+        bulk_local, bulk_halo = self._block_geometry(bulk_points, tm.n_cpu_tasks)
+        win_local, win_halo = self._block_geometry(window_points, tm.n_gpu_tasks)
+
+        t_cpu = bulk_local / m.cpu_mlups_per_task
+        t_gpu_fluid = fine_substeps * win_local / m.gpu_mlups_per_task
+        t_gpu_cells = (
+            fine_substeps
+            * (n_cells / tm.n_gpu_tasks)
+            * vertices_per_cell
+            / m.gpu_cell_vertex_rate
+        )
+        t_gpu = t_gpu_fluid + t_gpu_cells
+
+        frac = self._neighbor_fraction(n_nodes)
+        halo_bytes_node = (
+            bulk_halo * self.bytes_per_halo_point * tm.cpu_tasks_per_node
+            + fine_substeps * win_halo * self.bytes_per_halo_point * tm.gpu_tasks_per_node
+        ) * frac
+        contention = 1.0 + self.contention_per_doubling * max(
+            0.0, np.log2(n_nodes / 8.0)
+        )
+        n_messages = 26 * tm.tasks_per_node * frac * (1 + fine_substeps) / 2
+        t_comm = (
+            contention * halo_bytes_node / m.network_bandwidth
+            + n_messages * m.network_latency
+        )
+
+        # Coarse<->fine coupling ships the window's ghost shell each step,
+        # distributed over the nodes hosting window tasks.
+        ghost_points = 6 * (window_points ** (2.0 / 3.0)) / n_nodes
+        t_couple = ghost_points * self.bytes_per_halo_point / m.nvlink_bandwidth
+
+        total = max(t_cpu, t_gpu) + t_comm + t_couple + self.fixed_overhead
+        return {
+            "total": total,
+            "cpu": t_cpu,
+            "gpu": t_gpu,
+            "comm": t_comm,
+            "coupling": t_couple,
+            "overhead": self.fixed_overhead,
+        }
+
+
+def strong_scaling_curve(
+    node_counts=(32, 64, 128, 256, 512),
+    cube_side: float = 10.5e-3,
+    window_side: float = 0.65e-3,
+    dx_bulk: float = 5.0e-6,
+    refinement: int = 10,
+    hematocrit: float = 0.35,
+    model: ScalingModel | None = None,
+) -> dict[int, dict[str, float]]:
+    """Fig. 7: fixed problem (10.5 mm cube, 0.65 mm window, ~1M RBCs).
+
+    Returns per-node-count step-time components plus speedup relative to
+    the smallest node count.
+    """
+    from ..constants import RBC_VOLUME
+
+    model = model or ScalingModel()
+    bulk_points = (cube_side / dx_bulk) ** 3
+    dx_fine = dx_bulk / refinement
+    window_points = (window_side / dx_fine) ** 3
+    n_cells = hematocrit * window_side**3 / RBC_VOLUME
+    out: dict[int, dict[str, float]] = {}
+    for n in node_counts:
+        out[n] = model.step_time(
+            n, bulk_points, window_points, n_cells, fine_substeps=refinement
+        )
+    base = out[min(node_counts)]["total"]
+    for n in node_counts:
+        out[n]["speedup"] = base / out[n]["total"]
+    return out
+
+
+def weak_scaling_curve(
+    node_counts=(1, 2, 4, 8, 16, 32, 64, 128, 256),
+    bulk_points_per_node: float = 9.1e6,
+    window_points_per_node: float = 8.0e6,
+    cells_per_node: float = 2400.0,
+    refinement: int = 20,  # 10 um bulk / 0.5 um window (Section 3.4)
+    baseline_nodes: int = 8,
+    model: ScalingModel | None = None,
+) -> dict[int, dict[str, float]]:
+    """Fig. 8: per-node problem size held constant from 1 to 256 nodes.
+
+    Efficiency is reported against the 8-node baseline, as in the paper
+    (full communication volume is only reached at 8 nodes).
+    """
+    model = model or ScalingModel()
+    out: dict[int, dict[str, float]] = {}
+    for n in node_counts:
+        out[n] = model.step_time(
+            n,
+            bulk_points_per_node * n,
+            window_points_per_node * n,
+            cells_per_node * n,
+            fine_substeps=refinement,
+        )
+    base = out[baseline_nodes]["total"] if baseline_nodes in out else out[min(node_counts)]["total"]
+    for n in node_counts:
+        out[n]["efficiency_vs_baseline"] = base / out[n]["total"]
+    return out

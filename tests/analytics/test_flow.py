@@ -1,0 +1,104 @@
+"""Flow diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.analytics.flow import (
+    capillary_number,
+    flow_rate_through_plane,
+    mach_number_lattice,
+    mean_velocity,
+    reynolds_number,
+    velocity_profile,
+    wall_shear_stress_estimate,
+)
+from repro.lbm import Grid
+from repro.units import UnitSystem
+
+
+def _grid_units():
+    units = UnitSystem(dx=1e-6, dt=1e-7)
+    g = Grid((6, 6, 8), tau=0.8, spacing=units.dx)
+    return g, units
+
+
+def test_flow_rate_uniform_flow():
+    g, units = _grid_units()
+    u = np.zeros((3,) + g.shape)
+    u[2] = 0.01  # lattice
+    q = flow_rate_through_plane(g, units, u, axis=2)
+    # 36 fluid cells * dx^2 * u_phys.
+    u_phys = 0.01 * units.dx / units.dt
+    assert np.isclose(q, 36 * units.dx**2 * u_phys)
+
+
+def test_flow_rate_excludes_solid():
+    g, units = _grid_units()
+    g.solid[0, :, :] = True
+    u = np.zeros((3,) + g.shape)
+    u[2] = 0.01
+    q = flow_rate_through_plane(g, units, u, axis=2)
+    u_phys = 0.01 * units.dx / units.dt
+    assert np.isclose(q, 30 * units.dx**2 * u_phys)
+
+
+def test_mean_velocity():
+    g, units = _grid_units()
+    u = np.zeros((3,) + g.shape)
+    u[0] = 0.02
+    v = mean_velocity(g, units, u)
+    assert np.allclose(v, [0.02 * 10.0, 0.0, 0.0])
+
+
+def test_wall_shear_poiseuille_consistency():
+    """tau_w from Q equals mu * du/dr at the wall for Poiseuille flow."""
+    mu, R = 3e-3, 100e-6
+    u_mean = 0.01
+    q = u_mean * np.pi * R**2
+    tau_w = wall_shear_stress_estimate(mu, q, R)
+    # Analytic: tau_w = 4 mu u_mean / R.
+    assert np.isclose(tau_w, 4 * mu * u_mean / R)
+
+
+def test_reynolds_number_microcirculation():
+    """Arteriole-scale Re << 1 justifies the paper's Stokes-like regime."""
+    re = reynolds_number(u=5e-3, length=50e-6, nu=3.3e-6)
+    assert re < 0.1
+
+
+def test_capillary_number_physiological():
+    """Healthy RBC at arteriolar shear: Ca order 0.1-1."""
+    ca = capillary_number(mu=1.2e-3, shear_rate=500.0, radius=3.9e-6, gs=5e-6)
+    assert 0.1 < ca < 1.5
+
+
+def test_mach_number():
+    assert np.isclose(mach_number_lattice(0.1), 0.1 * np.sqrt(3.0))
+    assert mach_number_lattice(0.05) < 0.1
+
+
+def test_velocity_profile_extraction():
+    g, units = _grid_units()
+    u = np.zeros((3,) + g.shape)
+    y = np.arange(6)
+    u[2] = 0.001 * y[None, :, None]
+    pos, prof = velocity_profile(g, units, u, axis_flow=2, axis_profile=1)
+    assert len(pos) == 6
+    assert np.allclose(prof, 0.001 * y * units.dx / units.dt)
+
+
+def test_velocity_profile_fixed_indices():
+    g, units = _grid_units()
+    u = np.zeros((3,) + g.shape)
+    u[2, 1, :, :] = 0.01
+    _, prof = velocity_profile(g, units, u, axis_profile=1, fixed={0: 1, 2: 3})
+    assert np.allclose(prof, 0.01 * units.dx / units.dt)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        wall_shear_stress_estimate(1e-3, 1e-12, 0.0)
+    with pytest.raises(ValueError):
+        reynolds_number(1.0, 1.0, 0.0)
+    with pytest.raises(ValueError):
+        capillary_number(1e-3, 100.0, 1e-6, 0.0)

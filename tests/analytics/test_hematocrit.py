@@ -1,0 +1,59 @@
+"""Hematocrit measurement (Fig. 5B support)."""
+
+import numpy as np
+import pytest
+
+from repro.analytics import cell_volume_in_box, region_hematocrit
+from repro.analytics.hematocrit import hematocrit_in_box_weighted
+
+
+def test_region_hematocrit_counts_centroids():
+    vols = np.array([10.0, 10.0, 10.0])
+    cents = np.array([[0.5, 0.5, 0.5], [1.5, 0.5, 0.5], [0.2, 0.2, 0.2]])
+    ht = region_hematocrit(vols, cents, np.zeros(3), np.ones(3))
+    assert np.isclose(ht, 20.0 / 1.0)
+
+
+def test_region_hematocrit_empty():
+    assert region_hematocrit(np.array([]), np.empty((0, 3)), np.zeros(3), np.ones(3)) == 0.0
+
+
+def test_region_hematocrit_boundary_half_open():
+    vols = np.array([1.0])
+    at_hi = np.array([[1.0, 0.5, 0.5]])
+    assert region_hematocrit(vols, at_hi, np.zeros(3), np.ones(3)) == 0.0
+    at_lo = np.array([[0.0, 0.5, 0.5]])
+    assert region_hematocrit(vols, at_lo, np.zeros(3), np.ones(3)) == 1.0
+
+
+def test_region_hematocrit_bad_box():
+    with pytest.raises(ValueError):
+        region_hematocrit(np.array([1.0]), np.zeros((1, 3)), np.ones(3), np.zeros(3))
+
+
+def test_cell_volume_in_box_full_inside():
+    verts = np.random.default_rng(0).uniform(0.2, 0.8, size=(30, 3))
+    assert np.isclose(cell_volume_in_box(5.0, verts, np.zeros(3), np.ones(3)), 5.0)
+
+
+def test_cell_volume_in_box_outside():
+    verts = np.full((10, 3), 5.0)
+    assert cell_volume_in_box(5.0, verts, np.zeros(3), np.ones(3)) == 0.0
+
+
+def test_cell_volume_in_box_straddling():
+    verts = np.zeros((10, 3))
+    verts[:5, 0] = 0.5  # half in
+    verts[5:, 0] = 2.0  # half out
+    verts[:, 1:] = 0.5
+    assert np.isclose(cell_volume_in_box(4.0, verts, np.zeros(3), np.ones(3)), 2.0)
+
+
+def test_weighted_hematocrit_combines_cells():
+    rng = np.random.default_rng(1)
+    inside = rng.uniform(0.1, 0.9, size=(20, 3))
+    outside = inside + 5.0
+    ht = hematocrit_in_box_weighted(
+        [0.25, 0.25], [inside, outside], np.zeros(3), np.ones(3)
+    )
+    assert np.isclose(ht, 0.25)

@@ -1,0 +1,101 @@
+"""Three-layer Couette analytic solution (Eq. 8) and error norms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analytics import (
+    l2_error_norm,
+    three_layer_couette_profile,
+    three_layer_shear_stress,
+)
+
+
+def test_uniform_viscosity_reduces_to_linear():
+    y = np.linspace(0, 90, 50)
+    u = three_layer_couette_profile(y, (30, 30, 30), (4e-3, 4e-3, 4e-3), 1.0)
+    assert np.allclose(u, y / 90.0)
+
+
+def test_boundary_values():
+    y = np.array([0.0, 90.0])
+    u = three_layer_couette_profile(y, (30, 30, 30), (4e-3, 2e-3, 4e-3), 0.7)
+    assert np.isclose(u[0], 0.0)
+    assert np.isclose(u[1], 0.7)
+
+
+def test_profile_continuous_at_interfaces():
+    h = (30.0, 30.0, 30.0)
+    mus = (4e-3, 1e-3, 4e-3)
+    eps = 1e-9
+    for y_if in (30.0, 60.0):
+        lo = three_layer_couette_profile(np.array([y_if - eps]), h, mus, 1.0)[0]
+        hi = three_layer_couette_profile(np.array([y_if + eps]), h, mus, 1.0)[0]
+        assert np.isclose(lo, hi, atol=1e-6)
+
+
+def test_middle_layer_steeper_when_less_viscous():
+    h = (30.0, 30.0, 30.0)
+    mus = (4e-3, 1e-3, 4e-3)
+    y = np.array([35.0, 55.0, 5.0, 25.0])
+    u = three_layer_couette_profile(y, h, mus, 1.0)
+    slope_mid = (u[1] - u[0]) / 20.0
+    slope_out = (u[3] - u[2]) / 20.0
+    assert np.isclose(slope_mid / slope_out, 4.0, rtol=1e-9)
+
+
+def test_stress_continuity():
+    """sigma = mu_j du_j/dy identical in every layer (the Eq. 8 premise)."""
+    h = (20.0, 30.0, 40.0)
+    mus = (4e-3, 1.3e-3, 4e-3)
+    sigma = three_layer_shear_stress(h, mus, 1.0)
+    y = np.linspace(0, sum(h), 2000)
+    u = three_layer_couette_profile(y, h, mus, 1.0)
+    du = np.gradient(u, y)
+    for y_probe, mu in ((10.0, mus[0]), (35.0, mus[1]), (75.0, mus[2])):
+        i = np.argmin(np.abs(y - y_probe))
+        assert np.isclose(mu * du[i], sigma, rtol=1e-3)
+
+
+def test_asymmetric_heights():
+    h = (10.0, 50.0, 30.0)
+    mus = (2e-3, 1e-3, 2e-3)
+    u = three_layer_couette_profile(np.array([sum(h)]), h, mus, 0.5)
+    assert np.isclose(u[0], 0.5)
+
+
+def test_invalid_inputs():
+    with pytest.raises(ValueError):
+        three_layer_shear_stress((0.0, 1, 1), (1e-3,) * 3, 1.0)
+    with pytest.raises(ValueError):
+        three_layer_shear_stress((1.0, 1, 1), (0.0, 1e-3, 1e-3), 1.0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(lam=st.floats(0.1, 1.0), u_top=st.floats(0.001, 1.0))
+def test_profile_monotone_property(lam, u_top):
+    y = np.linspace(0, 90, 200)
+    u = three_layer_couette_profile(y, (30, 30, 30), (4e-3, lam * 4e-3, 4e-3), u_top)
+    assert np.all(np.diff(u) >= -1e-15)
+    assert u.max() <= u_top * (1 + 1e-12)
+
+
+def test_l2_error_norm_zero_for_identical():
+    a = np.array([1.0, 2.0, 3.0])
+    assert l2_error_norm(a, a) == 0.0
+
+
+def test_l2_error_norm_relative():
+    ref = np.array([1.0, 0.0])
+    sim = np.array([1.1, 0.0])
+    assert np.isclose(l2_error_norm(sim, ref), 0.1)
+
+
+def test_l2_error_norm_shape_mismatch():
+    with pytest.raises(ValueError):
+        l2_error_norm(np.zeros(3), np.zeros(4))
+
+
+def test_l2_error_norm_zero_reference():
+    assert np.isclose(l2_error_norm(np.array([3.0, 4.0]), np.zeros(2)), 5.0)

@@ -1,0 +1,70 @@
+"""Trajectory and margination metrics (Fig. 6 post-processing)."""
+
+import numpy as np
+import pytest
+
+from repro.analytics import (
+    margination_metrics,
+    radial_displacement,
+    trajectory_rms_difference,
+)
+
+
+def test_radial_displacement_basic():
+    pos = np.array([[3.0, 4.0, 10.0], [0.0, 0.0, 20.0]])
+    r = radial_displacement(pos, axis=2)
+    assert np.allclose(r, [5.0, 0.0])
+
+
+def test_radial_displacement_off_center():
+    pos = np.array([[1.0, 1.0, 0.0]])
+    r = radial_displacement(pos, axis=2, center=(1.0, 0.0))
+    assert np.isclose(r[0], 1.0)
+
+
+def test_radial_displacement_axis_choice():
+    pos = np.array([[10.0, 3.0, 4.0]])
+    assert np.isclose(radial_displacement(pos, axis=0)[0], 5.0)
+
+
+def test_margination_metrics_drift():
+    traj = np.array([[1.0, 0, 0], [2.0, 0, 50.0], [3.0, 0, 100.0]])
+    m = margination_metrics(traj, wall_radius=5.0)
+    assert m["r_initial"] == 1.0
+    assert m["r_final"] == 3.0
+    assert m["radial_drift"] == 2.0
+    assert np.isclose(m["min_wall_clearance"], 1 - 3.0 / 5.0)
+
+
+def test_margination_with_varying_wall():
+    traj = np.array([[2.0, 0, 0], [2.0, 0, 10.0]])
+    m = margination_metrics(traj, wall_radius=np.array([4.0, 8.0]))
+    assert np.isclose(m["min_wall_clearance"], 0.5)
+
+
+def test_rms_difference_identical_zero():
+    z = np.linspace(0, 100, 30)
+    traj = np.stack([1.0 + 0.01 * z, np.zeros_like(z), z], axis=1)
+    assert trajectory_rms_difference(traj, traj) < 1e-12
+
+
+def test_rms_difference_constant_offset():
+    z = np.linspace(0, 100, 30)
+    a = np.stack([np.ones_like(z), np.zeros_like(z), z], axis=1)
+    b = np.stack([2 * np.ones_like(z), np.zeros_like(z), z], axis=1)
+    assert np.isclose(trajectory_rms_difference(a, b), 1.0, rtol=1e-6)
+
+
+def test_rms_difference_handles_different_sampling():
+    z1 = np.linspace(0, 100, 23)
+    z2 = np.linspace(0, 100, 77)
+    a = np.stack([1 + 0.02 * z1, np.zeros_like(z1), z1], axis=1)
+    b = np.stack([1 + 0.02 * z2, np.zeros_like(z2), z2], axis=1)
+    assert trajectory_rms_difference(a, b) < 1e-3
+
+
+def test_rms_difference_requires_overlap():
+    a = np.array([[1.0, 0, 0], [1.0, 0, 10.0]])
+    b = np.array([[1.0, 0, 20.0], [1.0, 0, 30.0]])
+    with pytest.raises(ValueError):
+        trajectory_rms_difference(a, b)

@@ -1,0 +1,32 @@
+"""Shared fixtures for the repro test suite.
+
+Heavier objects (reference meshes) are session-scoped: every RBC/CTC in
+the suite shares one set of precomputed FEM reference data, exactly as
+the library itself does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.membrane import ReferenceState, biconcave_rbc, icosphere
+
+
+@pytest.fixture(scope="session")
+def rbc_reference() -> ReferenceState:
+    """Paper-resolution (642-vertex) biconcave RBC reference state."""
+    verts, faces = biconcave_rbc()
+    return ReferenceState.from_mesh(verts, faces)
+
+
+@pytest.fixture(scope="session")
+def coarse_sphere_reference() -> ReferenceState:
+    """Cheap (level-2, 162-vertex) spherical reference for fast tests."""
+    verts, faces = icosphere(2, radius=4e-6)
+    return ReferenceState.from_mesh(verts, faces)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

@@ -1,0 +1,166 @@
+"""APRSimulation integration: assembly, stepping, window moves."""
+
+import numpy as np
+import pytest
+
+from repro.core import APRConfig, APRSimulation, WindowSpec
+from repro.lbm import Grid, LBMSolver
+from repro.membrane import make_ctc
+from repro.units import UnitSystem
+
+RHO = 1025.0
+NU_BULK = 4e-3 / RHO
+NU_PLASMA = 1.2e-3 / RHO
+
+
+def _fluid_only_sim(box_cells=16, w_total=12e-6, n=2, seed=0):
+    """Periodic box, no cells: exercises window placement and coupling."""
+    dx_c = 2e-6
+    tau_c = 1.0
+    dt_c = (tau_c - 0.5) / 3.0 * dx_c**2 / NU_BULK
+    units = UnitSystem(dx_c, dt_c, RHO)
+    cg = Grid((box_cells,) * 3, tau=tau_c, spacing=dx_c)
+    coarse = LBMSolver(cg, [])
+    spec = WindowSpec(
+        proper_side=w_total / 2, onramp_width=w_total / 8, insertion_width=w_total / 8
+    )
+    cfg = APRConfig(
+        window_spec=spec,
+        refinement=n,
+        nu_bulk=NU_BULK,
+        nu_window=NU_PLASMA,
+        rho=RHO,
+        hematocrit=None,
+        seed=seed,
+    )
+    center = dx_c * (box_cells - 1) / 2.0 * np.ones(3)
+    sim = APRSimulation(cfg, coarse, center, units)
+    return sim, units, dx_c
+
+
+def test_window_snapped_to_coarse_lattice():
+    sim, units, dx_c = _fluid_only_sim()
+    rel = (sim.fine.grid.origin - sim.coarse.grid.origin) / dx_c
+    assert np.allclose(rel, np.round(rel))
+
+
+def test_fine_tau_satisfies_eq7():
+    sim, *_ = _fluid_only_sim()
+    n = sim.config.refinement
+    lam = sim.config.viscosity_contrast
+    expected = 0.5 + n * lam * (sim.coarse.grid.tau - 0.5)
+    assert np.isclose(sim.fine.grid.tau, expected)
+
+
+def test_mismatched_coarse_tau_rejected():
+    dx_c = 2e-6
+    units = UnitSystem(dx_c, 1e-7, RHO)  # dt inconsistent with tau below
+    cg = Grid((16,) * 3, tau=1.0, spacing=dx_c)
+    spec = WindowSpec(proper_side=6e-6, onramp_width=1.5e-6, insertion_width=1.5e-6)
+    cfg = APRConfig(
+        window_spec=spec, refinement=2, nu_bulk=NU_BULK, nu_window=NU_PLASMA
+    )
+    with pytest.raises(ValueError):
+        APRSimulation(cfg, LBMSolver(cg, []), np.full(3, 15e-6), units)
+
+
+def test_window_too_large_rejected():
+    dx_c = 2e-6
+    tau_c = 1.0
+    dt_c = (tau_c - 0.5) / 3.0 * dx_c**2 / NU_BULK
+    units = UnitSystem(dx_c, dt_c, RHO)
+    cg = Grid((8,) * 3, tau=tau_c, spacing=dx_c)
+    spec = WindowSpec(proper_side=20e-6, onramp_width=4e-6, insertion_width=4e-6)
+    cfg = APRConfig(
+        window_spec=spec, refinement=2, nu_bulk=NU_BULK, nu_window=NU_PLASMA
+    )
+    with pytest.raises(ValueError):
+        APRSimulation(cfg, LBMSolver(cg, []), np.full(3, 8e-6), units)
+
+
+def test_fluid_only_stepping_preserves_uniform_flow():
+    sim, units, _ = _fluid_only_sim()
+    vel = np.zeros((3,) + sim.coarse.grid.shape)
+    vel[0] = 0.01
+    sim.coarse.grid.init_equilibrium(1.0, vel)
+    sim.coupling.initialize_fine_from_coarse()
+    sim.step(3)
+    _, u_f = sim.fine.solver.macroscopic()
+    assert np.allclose(u_f[0], 0.01, atol=1e-9)
+
+
+def test_ctc_registration():
+    sim, *_ = _fluid_only_sim()
+    ctc = make_ctc(sim.window.center, global_id=sim.cells.allocate_id(), subdivisions=1)
+    sim.add_ctc(ctc)
+    assert sim.ctc is ctc
+    with pytest.raises(ValueError):
+        sim.add_ctc(ctc)
+
+
+def test_manual_window_move_recentres_on_ctc():
+    sim, units, dx_c = _fluid_only_sim(box_cells=24)
+    ctc = make_ctc(sim.window.center, global_id=sim.cells.allocate_id(), subdivisions=1)
+    sim.add_ctc(ctc)
+    old_center = sim.window.center.copy()
+    ctc.translate(np.array([4 * dx_c, 0, 0]))
+    report = sim.move_window()
+    assert len(sim.move_reports) == 1
+    assert sim.window.center[0] > old_center[0]
+    # CTC preserved through the move.
+    assert sim.ctc.global_id in sim.cells
+    # Fine grid follows the window.
+    assert np.allclose(
+        sim.fine.grid.origin + 0.5 * (np.array(sim.fine.grid.shape) - 1) * sim.fine.grid.spacing,
+        sim.window.center,
+    )
+
+
+def test_automatic_move_triggered_by_stepping():
+    sim, units, dx_c = _fluid_only_sim(box_cells=24, w_total=12e-6)
+    ctc = make_ctc(sim.window.center, global_id=sim.cells.allocate_id(), subdivisions=1)
+    sim.add_ctc(ctc)
+    # Teleport the CTC near the proper boundary, then step once.
+    ctc.translate(np.array([3e-6, 0, 0]))
+    sim.step(1)
+    assert len(sim.move_reports) >= 1
+
+
+def test_time_property():
+    sim, units, _ = _fluid_only_sim()
+    sim.step(4)
+    assert np.isclose(sim.time, 4 * units.dt)
+
+
+def test_window_hematocrit_zero_without_cells():
+    sim, *_ = _fluid_only_sim()
+    assert sim.window_hematocrit() == 0.0
+
+
+@pytest.mark.slow
+def test_checkpoint_roundtrip(tmp_path):
+    sim, units, dx_c = _fluid_only_sim(box_cells=20)
+    ctc = make_ctc(sim.window.center, global_id=sim.cells.allocate_id(), subdivisions=1)
+    sim.add_ctc(ctc)
+    vel = np.zeros((3,) + sim.coarse.grid.shape)
+    vel[0] = 0.01
+    sim.coarse.grid.init_equilibrium(1.0, vel)
+    sim.coupling.initialize_fine_from_coarse()
+    sim.step(3)
+    path = tmp_path / "ck.npz"
+    sim.save(path)
+    f_coarse = sim.coarse.grid.f.copy()
+    ctc_verts = sim.ctc.vertices.copy()
+    step = sim.coarse_step_count
+
+    # Continue, then restore: state must rewind exactly.
+    sim.step(4)
+    assert not np.allclose(sim.ctc.vertices, ctc_verts)
+    sim.restore(path)
+    assert sim.coarse_step_count == step
+    assert np.allclose(sim.coarse.grid.f, f_coarse)
+    assert sim.ctc is not None
+    assert np.allclose(sim.ctc.vertices, ctc_verts)
+    # Restored sim keeps stepping.
+    sim.step(2)
+    assert sim.coarse_step_count == step + 2

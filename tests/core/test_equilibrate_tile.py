@@ -1,0 +1,94 @@
+"""Pre-deformed (flow-equilibrated) RBC tiles."""
+
+import numpy as np
+import pytest
+
+from repro.core.seeding import RBCTile, equilibrate_tile, stamp_tile
+from repro.fsi import CellManager
+
+SIDE = 18e-6
+DIAM = 5.5e-6
+
+
+@pytest.fixture(scope="module")
+def eq_tile():
+    tile = RBCTile.build(hematocrit=0.10, side=SIDE, seed=4, diameter=DIAM)
+    return tile, equilibrate_tile(
+        tile, steps=40, diameter=DIAM, subdivisions=1, spacing=DIAM / 5
+    )
+
+
+@pytest.mark.slow
+def test_shapes_attached(eq_tile):
+    tile, eq = eq_tile
+    assert eq.shapes is not None
+    assert len(eq.shapes) == tile.n_cells
+    for shape in eq.shapes:
+        assert shape.shape[1] == 3
+        # Centroid-free storage.
+        assert np.abs(shape.mean(axis=0)).max() < 1e-12
+
+
+@pytest.mark.slow
+def test_shapes_are_deformed(eq_tile):
+    """Equilibrated shapes differ from the pristine discocyte."""
+    from repro.membrane.cell import CellKind, reference_for
+
+    tile, eq = eq_tile
+    ref = reference_for(CellKind.RBC, DIAM, 1)
+    any_deformed = False
+    for shape, rot in zip(eq.shapes, tile.rotations):
+        pristine = ref.vertices @ rot.T
+        if not np.allclose(shape, pristine, atol=1e-9):
+            any_deformed = True
+    assert any_deformed
+
+
+@pytest.mark.slow
+def test_shapes_preserve_volume(eq_tile):
+    from repro.membrane import mesh_volume
+    from repro.membrane.cell import CellKind, reference_for
+
+    tile, eq = eq_tile
+    ref = reference_for(CellKind.RBC, DIAM, 1)
+    for shape in eq.shapes:
+        v = float(mesh_volume(shape, ref.faces))
+        assert np.isclose(v, ref.volume0, rtol=0.02)
+
+
+@pytest.mark.slow
+def test_stamping_deformed_tile(eq_tile):
+    _, eq = eq_tile
+    m = CellManager()
+    rng = np.random.default_rng(0)
+    added = stamp_tile(
+        m, eq, np.zeros(3), np.full(3, 20e-6), rng,
+        diameter=DIAM, subdivisions=1,
+    )
+    assert len(added) > 0
+    # Stamped cells carry non-reference shapes.
+    deformed = 0
+    for c in added:
+        rel = c.vertices - c.centroid()
+        if not np.allclose(
+            np.sort(np.linalg.norm(rel, axis=1)),
+            np.sort(np.linalg.norm(c.reference.vertices, axis=1)),
+            rtol=1e-6,
+        ):
+            deformed += 1
+    assert deformed > 0
+
+
+def test_shape_resolution_mismatch_rejected():
+    tile = RBCTile.build(hematocrit=0.08, side=SIDE, seed=1, diameter=DIAM)
+    import dataclasses
+
+    bogus = dataclasses.replace(
+        tile, shapes=tuple(np.zeros((10, 3)) for _ in range(tile.n_cells))
+    )
+    m = CellManager()
+    with pytest.raises(ValueError):
+        stamp_tile(
+            m, bogus, np.zeros(3), np.full(3, 20e-6),
+            np.random.default_rng(0), diameter=DIAM, subdivisions=1,
+        )

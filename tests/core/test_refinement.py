@@ -1,0 +1,162 @@
+"""Fine/coarse coupling operators: construction, consistency, accuracy."""
+
+import numpy as np
+import pytest
+
+from repro.core import RefinedRegion, tau_fine_from_coarse, trilinear
+from repro.lbm import Grid, LBMSolver
+from repro.lbm.collision import macroscopic
+
+
+def _coupled(n=2, coarse_shape=(12, 12, 12), w=4, tau_c=0.9, lam=1.0, i0=(3, 3, 3)):
+    cg = Grid(coarse_shape, tau=tau_c, spacing=float(n))
+    coarse = LBMSolver(cg, [])
+    tau_f = tau_fine_from_coarse(tau_c, n, lam)
+    fg = Grid(
+        (n * w + 1,) * 3,
+        tau=tau_f,
+        origin=np.array(i0, dtype=float) * n,
+        spacing=1.0,
+    )
+    fine = LBMSolver(fg, [])
+    return coarse, fine, RefinedRegion(coarse, fine, n)
+
+
+def test_construction_validates_ratio():
+    cg = Grid((8, 8, 8), tau=0.9, spacing=2.0)
+    fg = Grid((5, 5, 5), tau=0.9, origin=np.array([4.0, 4, 4]), spacing=1.5)
+    with pytest.raises(ValueError):
+        RefinedRegion(LBMSolver(cg, []), LBMSolver(fg, []), 2)
+
+
+def test_construction_validates_origin_alignment():
+    cg = Grid((8, 8, 8), tau=0.9, spacing=2.0)
+    fg = Grid((5, 5, 5), tau=0.9, origin=np.array([3.0, 4, 4]), spacing=1.0)
+    with pytest.raises(ValueError):
+        RefinedRegion(LBMSolver(cg, []), LBMSolver(fg, []), 2)
+
+
+def test_construction_validates_shape_alignment():
+    cg = Grid((8, 8, 8), tau=0.9, spacing=2.0)
+    fg = Grid((6, 5, 5), tau=0.9, origin=np.array([4.0, 4, 4]), spacing=1.0)
+    with pytest.raises(ValueError):
+        RefinedRegion(LBMSolver(cg, []), LBMSolver(fg, []), 2)
+
+
+def test_construction_requires_interior_window():
+    cg = Grid((6, 6, 6), tau=0.9, spacing=2.0)
+    fg = Grid((9, 9, 9), tau=0.9, origin=np.zeros(3), spacing=1.0)
+    with pytest.raises(ValueError):
+        RefinedRegion(LBMSolver(cg, []), LBMSolver(fg, []), 2)
+
+
+def test_rejects_variable_tau_fine():
+    cg = Grid((10, 10, 10), tau=0.9, spacing=2.0)
+    fg = Grid(
+        (5, 5, 5), tau=np.full((5, 5, 5), 0.9), origin=np.array([4.0, 4, 4]), spacing=1.0
+    )
+    with pytest.raises(ValueError):
+        RefinedRegion(LBMSolver(cg, []), LBMSolver(fg, []), 2)
+
+
+def test_initialize_fine_reproduces_uniform_flow():
+    coarse, fine, rr = _coupled()
+    vel = np.zeros((3,) + coarse.grid.shape)
+    vel[0] = 0.02
+    coarse.grid.init_equilibrium(1.0, vel)
+    rr.initialize_fine_from_coarse()
+    rho, u = macroscopic(fine.grid.f)
+    assert np.allclose(rho, 1.0, atol=1e-12)
+    assert np.allclose(u[0], 0.02, atol=1e-12)
+    assert np.allclose(u[1:], 0.0, atol=1e-12)
+
+
+def test_initialize_fine_interpolates_gradient():
+    coarse, fine, rr = _coupled()
+    cg = coarse.grid
+    x = cg.axis_coords(0) / cg.spacing  # coarse index coordinate
+    vel = np.zeros((3,) + cg.shape)
+    vel[1] = 0.001 * x[:, None, None]
+    cg.init_equilibrium(1.0, vel)
+    rr.initialize_fine_from_coarse()
+    _, u = macroscopic(fine.grid.f)
+    xf = fine.grid.axis_coords(0) / cg.spacing
+    expected = 0.001 * xf
+    mid = fine.grid.shape[1] // 2
+    assert np.allclose(u[1, :, mid, mid], expected, atol=1e-6)
+
+
+def test_uniform_flow_preserved_through_coupled_steps():
+    """Galilean check: uniform flow is an exact steady state of the
+    coupled system (ghosts, restriction and rescaling all consistent)."""
+    coarse, fine, rr = _coupled(tau_c=0.8)
+    vel = np.zeros((3,) + coarse.grid.shape)
+    vel[2] = 0.03
+    coarse.grid.init_equilibrium(1.0, vel)
+    rr.initialize_fine_from_coarse()
+    rr.step(5)
+    _, u_c = macroscopic(coarse.grid.f)
+    _, u_f = macroscopic(fine.grid.f)
+    assert np.allclose(u_c[2], 0.03, atol=1e-10)
+    assert np.allclose(u_f[2], 0.03, atol=1e-10)
+    assert np.allclose(u_f[:2], 0.0, atol=1e-10)
+
+
+def test_rest_state_is_fixed_point():
+    coarse, fine, rr = _coupled(lam=0.5)
+    rr.initialize_fine_from_coarse()
+    rr.step(3)
+    rho_c, u_c = macroscopic(coarse.grid.f)
+    rho_f, u_f = macroscopic(fine.grid.f)
+    assert np.allclose(u_c, 0.0, atol=1e-14)
+    assert np.allclose(u_f, 0.0, atol=1e-14)
+    assert np.allclose(rho_f, 1.0, atol=1e-14)
+
+
+def test_mass_stays_bounded_under_coupling():
+    coarse, fine, rr = _coupled()
+    vel = np.zeros((3,) + coarse.grid.shape)
+    vel[0] = 0.02
+    coarse.grid.init_equilibrium(1.0, vel)
+    rr.initialize_fine_from_coarse()
+    rr.step(10)
+    rho_c, _ = macroscopic(coarse.grid.f)
+    assert abs(rho_c.mean() - 1.0) < 1e-6
+
+
+def test_periodic_axes_window_spans_domain():
+    n = 2
+    cg = Grid((6, 10, 6), tau=0.9, spacing=2.0)
+    coarse = LBMSolver(cg, [])
+    fg = Grid((12, 2 * 4 + 1, 12), tau=0.9, origin=np.array([0.0, 6.0, 0.0]), spacing=1.0)
+    fine = LBMSolver(fg, [])
+    rr = RefinedRegion(coarse, fine, n, periodic_axes=(0, 2))
+    vel = np.zeros((3,) + cg.shape)
+    vel[0] = 0.01
+    cg.init_equilibrium(1.0, vel)
+    rr.initialize_fine_from_coarse()
+    rr.step(2)
+    _, u_f = macroscopic(fg.f)
+    assert np.allclose(u_f[0], 0.01, atol=1e-10)
+
+
+def test_periodic_axes_validation():
+    cg = Grid((6, 10, 6), tau=0.9, spacing=2.0)
+    fg = Grid((11, 9, 12), tau=0.9, origin=np.array([0.0, 6.0, 0.0]), spacing=1.0)
+    with pytest.raises(ValueError):
+        RefinedRegion(LBMSolver(cg, []), LBMSolver(fg, []), 2, periodic_axes=(0, 2))
+
+
+def test_trilinear_matches_manual():
+    field = np.arange(27, dtype=float).reshape(3, 3, 3)
+    v = trilinear(field, np.array([[0.5, 0.0, 0.0]]))
+    assert np.isclose(v[0], 0.5 * (field[0, 0, 0] + field[1, 0, 0]))
+
+
+def test_shear_verification_small_scale():
+    """End-to-end Table 1 style check at the smallest usable size."""
+    from repro.experiments.shear_layers import run_shear_layers
+
+    r = run_shear_layers(lam=0.5, n=2, ny_channel=12, nxz=4, steps=1200, u_top=0.02)
+    assert r.error_bulk < 0.05
+    assert r.error_window < 0.08

@@ -1,0 +1,80 @@
+"""CTC tracking and window-move triggering."""
+
+import numpy as np
+
+from repro.core import CTCTracker, Window, WindowSpec
+from repro.membrane import make_ctc
+
+SPEC = WindowSpec(proper_side=30e-6, onramp_width=5e-6, insertion_width=5e-6)
+
+
+def _tracker():
+    return CTCTracker(trigger_distance=5e-6, snap_spacing=2e-6)
+
+
+def test_record_and_trajectory():
+    t = _tracker()
+    ctc = make_ctc(np.array([1e-6, 2e-6, 3e-6]), global_id=0, subdivisions=2)
+    t.record(ctc)
+    ctc.translate(np.array([1e-6, 0, 0]))
+    t.record(ctc)
+    traj = t.trajectory()
+    assert traj.shape == (2, 3)
+    assert np.allclose(traj[1] - traj[0], [1e-6, 0, 0], atol=1e-12)
+
+
+def test_empty_trajectory():
+    assert _tracker().trajectory().shape == (0, 3)
+
+
+def test_no_move_when_centered():
+    t = _tracker()
+    w = Window(center=np.zeros(3), spec=SPEC)
+    ctc = make_ctc(np.zeros(3), global_id=0, subdivisions=2)
+    assert not t.needs_move(ctc, w)
+
+
+def test_move_triggered_near_proper_boundary():
+    t = _tracker()
+    w = Window(center=np.zeros(3), spec=SPEC)
+    # proper half-side 15 um, trigger distance 5 um -> trigger beyond 10 um.
+    ctc = make_ctc(np.array([11e-6, 0, 0]), global_id=0, subdivisions=2)
+    assert t.needs_move(ctc, w)
+
+
+def test_no_trigger_inside_safe_zone():
+    t = _tracker()
+    w = Window(center=np.zeros(3), spec=SPEC)
+    ctc = make_ctc(np.array([9e-6, 0, 0]), global_id=0, subdivisions=2)
+    assert not t.needs_move(ctc, w)
+
+
+def test_trigger_uses_chebyshev_distance():
+    t = _tracker()
+    w = Window(center=np.zeros(3), spec=SPEC)
+    ctc = make_ctc(np.array([8e-6, 8e-6, 11e-6]), global_id=0, subdivisions=2)
+    assert t.needs_move(ctc, w)
+
+
+def test_propose_center_snaps_to_lattice():
+    t = _tracker()
+    w = Window(center=np.zeros(3), spec=SPEC)
+    ctc = make_ctc(np.array([11.3e-6, -4.9e-6, 0.7e-6]), global_id=0, subdivisions=2)
+    center = t.propose_center(ctc, w)
+    assert np.allclose(np.mod(center, 2e-6), 0.0, atol=1e-12)
+    assert np.abs(center - ctc.centroid()).max() <= 1e-6 + 1e-12
+
+
+def test_total_distance_arc_length():
+    t = _tracker()
+    ctc = make_ctc(np.zeros(3), global_id=0, subdivisions=2)
+    t.record(ctc)
+    ctc.translate(np.array([3e-6, 0, 0]))
+    t.record(ctc)
+    ctc.translate(np.array([0, 4e-6, 0]))
+    t.record(ctc)
+    assert np.isclose(t.total_distance(), 7e-6)
+
+
+def test_total_distance_empty():
+    assert _tracker().total_distance() == 0.0

@@ -1,0 +1,108 @@
+"""Window anatomy: shells, classification, insertion subregions (Fig. 3A)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Region, Window, WindowSpec
+
+
+def _window():
+    # proper 40, on-ramp 20, insertion 20 -> total 120 (the Fig. 6 window).
+    spec = WindowSpec(proper_side=40e-6, onramp_width=20e-6, insertion_width=20e-6)
+    return Window(center=np.zeros(3), spec=spec)
+
+
+def test_total_side_paper_example():
+    w = _window()
+    assert np.isclose(w.spec.total_side, 120e-6)
+    assert np.isclose(w.spec.interior_side, 80e-6)
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        WindowSpec(proper_side=0.0, onramp_width=1.0, insertion_width=1.0)
+
+
+def test_classification_nested_shells():
+    w = _window()
+    pts = np.array(
+        [
+            [0.0, 0, 0],  # proper center
+            [19e-6, 0, 0],  # proper
+            [30e-6, 0, 0],  # on-ramp
+            [50e-6, 0, 0],  # insertion
+            [70e-6, 0, 0],  # outside
+        ]
+    )
+    regions = w.classify(pts)
+    assert list(regions) == [
+        Region.PROPER,
+        Region.PROPER,
+        Region.ONRAMP,
+        Region.INSERTION,
+        Region.OUTSIDE,
+    ]
+
+
+def test_classification_chebyshev_corners():
+    """The window is cubic: corners classify by max-norm distance."""
+    w = _window()
+    corner_proper = np.array([[19e-6, 19e-6, 19e-6]])
+    assert w.classify(corner_proper)[0] == Region.PROPER
+    corner_out = np.array([[59e-6, 59e-6, 59e-6]])
+    assert w.classify(corner_out)[0] == Region.INSERTION
+
+
+def test_bounds_ordering():
+    w = _window()
+    lo, hi = w.bounds()
+    li, hi_int = w.interior_bounds()
+    lp, hp = w.proper_bounds()
+    assert np.all(lo < li) and np.all(li < lp)
+    assert np.all(hp < hi_int) and np.all(hi_int < hi)
+
+
+def test_contains():
+    w = _window()
+    assert w.contains(np.array([[0.0, 0, 0]]))[0]
+    assert not w.contains(np.array([[1.0, 0, 0]]))[0]
+
+
+def test_insertion_subregions_cover_shell_only():
+    w = _window()
+    subs = w.insertion_subregions()
+    assert len(subs) > 0
+    for lo, hi in subs:
+        center = 0.5 * (lo + hi)
+        assert w.classify(center[None])[0] == Region.INSERTION
+
+
+def test_insertion_subregions_count():
+    """120 um window, 20 um subregions: 6^3 - 4^3 = 152 shell cubes."""
+    w = _window()
+    assert len(w.insertion_subregions()) == 6**3 - 4**3
+
+
+def test_insertion_subregions_tile_without_overlap():
+    w = _window()
+    subs = w.insertion_subregions()
+    total = sum(np.prod(hi - lo) for lo, hi in subs)
+    shell_volume = w.spec.total_side**3 - w.spec.interior_side**3
+    assert np.isclose(total, shell_volume, rtol=1e-9)
+
+
+def test_moved_window_preserves_spec():
+    w = _window()
+    w2 = w.moved_to(np.array([1e-3, 0, 0]))
+    assert w2.spec is w.spec
+    assert np.allclose(w2.center, [1e-3, 0, 0])
+    assert np.allclose(w.center, 0.0)
+
+
+def test_classify_is_vectorized(rng):
+    w = _window()
+    pts = rng.uniform(-100e-6, 100e-6, size=(500, 3))
+    regions = w.classify(pts)
+    assert regions.shape == (500,)
+    d = np.abs(pts).max(axis=1)
+    assert np.all((regions == Region.OUTSIDE) == (d > 60e-6))

@@ -1,0 +1,59 @@
+"""Insertion-subregion sizing behavior (toy-scale clamping)."""
+
+import numpy as np
+
+from repro.core import Region, Window, WindowSpec
+
+
+def _window(proper=40e-6, ramp=20e-6, ins=20e-6):
+    return Window(center=np.zeros(3), spec=WindowSpec(proper, ramp, ins))
+
+
+def test_default_size_matches_paper_tiling():
+    w = _window()
+    subs = w.insertion_subregions()
+    # 120 um window / 20 um boxes: shell count 6^3 - 4^3.
+    assert len(subs) == 6**3 - 4**3
+
+
+def test_larger_size_produces_fewer_boxes():
+    w = _window()
+    default = w.insertion_subregions()
+    clamped = w.insertion_subregions(size=40e-6)
+    assert 0 < len(clamped) < len(default)
+
+
+def test_clamped_boxes_reach_the_shell():
+    w = _window(proper=16e-6, ramp=4e-6, ins=4e-6)  # thin toy shell
+    subs = w.insertion_subregions(size=9e-6)
+    assert len(subs) > 0
+    half_int = 0.5 * w.spec.interior_side
+    for lo, hi in subs:
+        far = np.maximum(np.abs(lo), np.abs(hi)).max()
+        assert far >= half_int - 1e-12
+
+
+def test_clamped_boxes_exclude_window_proper_centers():
+    w = _window(proper=16e-6, ramp=4e-6, ins=4e-6)
+    for lo, hi in w.insertion_subregions(size=9e-6):
+        center = 0.5 * (lo + hi)
+        assert w.classify(center[None])[0] != int(Region.PROPER)
+
+
+def test_boxes_tile_the_window_exactly():
+    w = _window()
+    subs = w.insertion_subregions(size=30e-6)
+    # All boxes share one edge length and lie inside the window bounds.
+    lo_w, hi_w = w.bounds()
+    edges = {round(float((hi - lo)[0]), 12) for lo, hi in subs}
+    assert len(edges) == 1
+    for lo, hi in subs:
+        assert np.all(lo >= lo_w - 1e-12) and np.all(hi <= hi_w + 1e-12)
+
+
+def test_tiny_size_rounds_to_grid():
+    w = _window()
+    subs = w.insertion_subregions(size=7e-6)
+    edge = float((subs[0][1] - subs[0][0])[0])
+    count = round(w.spec.total_side / edge)
+    assert np.isclose(count * edge, w.spec.total_side)

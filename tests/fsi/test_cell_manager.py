@@ -1,0 +1,149 @@
+"""CellManager: pooled membership, batched forces, bulk updates."""
+
+import numpy as np
+import pytest
+
+from repro.fsi import CellManager
+from repro.membrane import make_ctc, make_rbc
+
+
+def _manager_with(n_rbc=3, sub=2):
+    m = CellManager()
+    for i in range(n_rbc):
+        m.add(make_rbc(np.array([i * 20e-6, 0, 0]), global_id=m.allocate_id(), subdivisions=sub))
+    return m
+
+
+def test_add_and_count():
+    m = _manager_with(3)
+    assert m.n_cells == 3
+    assert len(m.cells) == 3
+
+
+def test_duplicate_id_rejected():
+    m = CellManager()
+    m.add(make_rbc(np.zeros(3), global_id=0, subdivisions=2))
+    with pytest.raises(ValueError):
+        m.add(make_rbc(np.ones(3) * 1e-5, global_id=0, subdivisions=2))
+
+
+def test_get_by_id():
+    m = _manager_with(2)
+    c = m.get(1)
+    assert c.global_id == 1
+
+
+def test_contains():
+    m = _manager_with(2)
+    assert 0 in m and 1 in m and 5 not in m
+
+
+def test_remove_updates_membership():
+    m = _manager_with(3)
+    removed = m.remove(1)
+    assert removed.global_id == 1
+    assert m.n_cells == 2
+    assert 1 not in m
+    # remaining cells still reachable
+    assert m.get(0).global_id == 0
+    assert m.get(2).global_id == 2
+
+
+def test_removed_cell_detached_from_pool():
+    m = _manager_with(2)
+    removed = m.remove(0)
+    pos0 = removed.vertices.copy()
+    # Adding a new cell may reuse the slot; the removed cell must not alias.
+    m.add(make_rbc(np.array([99e-6, 0, 0]), global_id=m.allocate_id(), subdivisions=2))
+    assert np.allclose(removed.vertices, pos0)
+
+
+def test_remove_where():
+    m = _manager_with(4)
+    removed = m.remove_where(lambda c: c.centroid()[0] > 25e-6)
+    assert {c.global_id for c in removed} == {2, 3}
+    assert m.n_cells == 2
+
+
+def test_allocate_monotonic_ids():
+    m = CellManager()
+    ids = [m.allocate_id() for _ in range(4)]
+    assert ids == [0, 1, 2, 3]
+    rng_block = m.reserve_ids(5)
+    assert list(rng_block) == [4, 5, 6, 7, 8]
+    assert m.allocate_id() == 9
+
+
+def test_add_never_reuses_external_high_id():
+    m = CellManager()
+    m.add(make_rbc(np.zeros(3), global_id=100, subdivisions=2))
+    assert m.allocate_id() == 101
+
+
+def test_vertices_rebound_into_pool():
+    m = CellManager()
+    c = make_rbc(np.zeros(3), global_id=0, subdivisions=2)
+    original = c.vertices.copy()
+    m.add(c)
+    # Writes via the cell now hit pooled storage, values preserved.
+    assert np.allclose(c.vertices, original)
+    c.vertices += 1e-6
+    verts, _, cells = m.all_vertices()
+    assert np.allclose(verts[: len(original)], original + 1e-6)
+
+
+def test_pool_growth_rebinds_views():
+    m = CellManager()
+    cells = []
+    for i in range(70):  # exceeds the default pool capacity of 64
+        cells.append(
+            m.add(make_rbc(np.array([i * 20e-6, 0, 0]), global_id=m.allocate_id(), subdivisions=1))
+        )
+    # Every view must still be writable pool storage.
+    for i, c in enumerate(cells):
+        assert np.isclose(c.centroid()[0], i * 20e-6, atol=1e-12)
+        c.vertices += 1.0e-9
+    verts, _, _ = m.all_vertices()
+    assert m.n_cells == 70
+
+
+def test_batched_forces_match_per_cell():
+    m = _manager_with(3)
+    forces = m.membrane_forces()
+    for cell in m.cells:
+        assert np.allclose(forces[cell.global_id], cell.forces(), atol=1e-20)
+
+
+def test_mixed_populations_grouped():
+    m = _manager_with(2)
+    m.add(make_ctc(np.array([0, 40e-6, 0]), global_id=m.allocate_id(), subdivisions=2))
+    forces = m.membrane_forces()
+    assert len(forces) == 3
+
+
+def test_all_vertices_ordering_consistent_with_forces():
+    m = _manager_with(2)
+    f, verts, cells = m.total_forces()
+    assert f.shape == verts.shape
+    assert len(cells) == 2
+
+
+def test_update_vertices_roundtrip():
+    m = _manager_with(2)
+    verts, _, _ = m.all_vertices()
+    shift = np.full_like(verts, 1e-6)
+    m.update_vertices(shift)
+    verts2, _, _ = m.all_vertices()
+    assert np.allclose(verts2, verts + 1e-6)
+
+
+def test_update_vertices_length_validation():
+    m = _manager_with(1)
+    with pytest.raises(ValueError):
+        m.update_vertices(np.zeros((3, 3)))
+
+
+def test_centroids_shape():
+    m = _manager_with(3)
+    assert m.centroids().shape == (3, 3)
+    assert CellManager().centroids().shape == (0, 3)

@@ -1,0 +1,58 @@
+"""Intercellular contact repulsion."""
+
+import numpy as np
+
+from repro.fsi import contact_forces
+
+
+def test_no_force_beyond_cutoff():
+    verts = np.array([[0.0, 0, 0], [2.0, 0, 0]])
+    f = contact_forces(verts, np.array([0, 1]), cutoff=1.0, stiffness=1.0)
+    assert np.allclose(f, 0.0)
+
+
+def test_pair_force_equal_and_opposite():
+    verts = np.array([[0.0, 0, 0], [0.5, 0, 0]])
+    f = contact_forces(verts, np.array([0, 1]), cutoff=1.0, stiffness=2.0)
+    assert np.allclose(f[0], -f[1])
+    assert f[0, 0] < 0 < f[1, 0]  # repulsion pushes apart
+
+
+def test_force_magnitude_linear_ramp():
+    verts = np.array([[0.0, 0, 0], [0.25, 0, 0]])
+    f = contact_forces(verts, np.array([0, 1]), cutoff=1.0, stiffness=4.0)
+    assert np.isclose(abs(f[0, 0]), 4.0 * (1 - 0.25))
+
+
+def test_same_cell_vertices_excluded():
+    verts = np.array([[0.0, 0, 0], [0.3, 0, 0]])
+    f = contact_forces(verts, np.array([0, 0]), cutoff=1.0, stiffness=1.0)
+    assert np.allclose(f, 0.0)
+
+
+def test_total_momentum_free(rng):
+    verts = rng.uniform(0, 2.0, size=(50, 3))
+    cells = rng.integers(0, 5, size=50)
+    f = contact_forces(verts, cells, cutoff=0.6, stiffness=1.0)
+    assert np.abs(f.sum(axis=0)).max() < 1e-12 * max(np.abs(f).max(), 1.0)
+
+
+def test_empty_input():
+    f = contact_forces(np.empty((0, 3)), np.empty(0, dtype=int), 0.5, 1.0)
+    assert f.shape == (0, 3)
+
+
+def test_zero_cutoff_disables():
+    verts = np.array([[0.0, 0, 0], [0.1, 0, 0]])
+    f = contact_forces(verts, np.array([0, 1]), cutoff=0.0, stiffness=1.0)
+    assert np.allclose(f, 0.0)
+
+
+def test_three_body_superposition():
+    """Middle vertex feels the sum of both pair forces."""
+    verts = np.array([[-0.3, 0, 0], [0.0, 0, 0], [0.3, 0, 0]])
+    cells = np.array([0, 1, 2])
+    f = contact_forces(verts, cells, cutoff=1.0, stiffness=1.0)
+    # Symmetric neighbors cancel on the middle vertex.
+    assert np.isclose(f[1, 0], 0.0, atol=1e-12)
+    assert f[0, 0] < 0 < f[2, 0]

@@ -1,0 +1,76 @@
+"""Deterministic overlap removal by global ID (Section 2.4.2)."""
+
+import numpy as np
+
+from repro.fsi import cell_overlaps_existing, find_overlapping_vertices, remove_overlaps
+from repro.fsi.overlap import build_subgrid
+from repro.membrane import make_rbc
+
+CUTOFF = 0.5e-6
+D = 7.8e-6
+
+
+def _rbc(x_um: float, gid: int, sub=2):
+    return make_rbc(np.array([x_um * 1e-6, 0.0, 0.0]), global_id=gid, subdivisions=sub)
+
+
+def test_far_cells_do_not_overlap():
+    a, b = _rbc(0, 0), _rbc(20, 1)
+    assert not find_overlapping_vertices(a, b, CUTOFF)
+
+
+def test_coincident_cells_overlap():
+    a, b = _rbc(0, 0), _rbc(0.2, 1)
+    assert find_overlapping_vertices(a, b, CUTOFF)
+
+
+def test_subgrid_path_matches_brute_force():
+    cells = [_rbc(x, i) for i, x in enumerate((0, 2, 9, 30))]
+    grid = build_subgrid(cells[:3], CUTOFF)
+    candidate = _rbc(1.0, 99)
+    brute = any(find_overlapping_vertices(candidate, c, CUTOFF) for c in cells[:3])
+    assert cell_overlaps_existing(candidate, grid, CUTOFF) == brute
+
+
+def test_remove_overlaps_keeps_lower_ids():
+    a = _rbc(0.0, 5)
+    b = _rbc(0.5, 2)  # overlaps a; lower ID wins
+    c = _rbc(30.0, 9)
+    survivors = remove_overlaps([a, b, c], CUTOFF)
+    ids = {s.global_id for s in survivors}
+    assert ids == {2, 9}
+
+
+def test_remove_overlaps_order_independent():
+    cells = [_rbc(x, i) for i, x in enumerate((0, 0.4, 0.8, 15, 15.3, 40))]
+    ids_fwd = {c.global_id for c in remove_overlaps(list(cells), CUTOFF)}
+    ids_rev = {c.global_id for c in remove_overlaps(list(reversed(cells)), CUTOFF)}
+    assert ids_fwd == ids_rev
+
+
+def test_remove_overlaps_simulates_task_partitions():
+    """Splitting cells across 'tasks' then merging survivors per task with
+    a global pass gives the same set as one global pass — the paper's
+    consistency-across-task-counts property."""
+    cells = [_rbc(x, i) for i, x in enumerate((0, 0.4, 0.9, 8, 8.2, 8.6, 25))]
+    global_ids = {c.global_id for c in remove_overlaps(list(cells), CUTOFF)}
+    # two-task partition: union of the partitions re-resolved globally
+    part1 = [c for c in cells if c.global_id % 2 == 0]
+    part2 = [c for c in cells if c.global_id % 2 == 1]
+    merged = remove_overlaps(part1 + part2, CUTOFF)
+    assert {c.global_id for c in merged} == global_ids
+
+
+def test_remove_overlaps_empty_input():
+    assert remove_overlaps([], CUTOFF) == []
+
+
+def test_single_cell_survives():
+    a = _rbc(0.0, 0)
+    assert remove_overlaps([a], CUTOFF) == [a]
+
+
+def test_bounding_box_rejection_fast_path():
+    """Disjoint bounding boxes short-circuit the vertex check."""
+    a, b = _rbc(0, 0), _rbc(100, 1)
+    assert not find_overlapping_vertices(a, b, CUTOFF)

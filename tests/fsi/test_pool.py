@@ -1,0 +1,85 @@
+"""Pooled cell vertex storage (Section 2.4.5 'Cell Memory Management')."""
+
+import numpy as np
+import pytest
+
+from repro.fsi import VertexPool
+
+
+def test_acquire_returns_distinct_slots():
+    pool = VertexPool(n_vertices=4, capacity=3)
+    s1 = pool.acquire(np.zeros((4, 3)))
+    s2 = pool.acquire(np.ones((4, 3)))
+    assert s1 != s2
+    assert pool.n_active == 2
+
+
+def test_view_is_writable_and_persistent():
+    pool = VertexPool(n_vertices=2, capacity=2)
+    s = pool.acquire(np.zeros((2, 3)))
+    v = pool.view(s)
+    v[0, 0] = 42.0
+    assert pool.view(s)[0, 0] == 42.0
+
+
+def test_release_recycles_slot():
+    pool = VertexPool(n_vertices=2, capacity=1)
+    s = pool.acquire(np.zeros((2, 3)))
+    pool.release(s)
+    s2 = pool.acquire(np.ones((2, 3)))
+    assert s2 == s
+    assert pool.grow_events == 0
+
+
+def test_release_unknown_slot_raises():
+    pool = VertexPool(n_vertices=2, capacity=2)
+    with pytest.raises(KeyError):
+        pool.release(0)
+
+
+def test_view_of_inactive_slot_raises():
+    pool = VertexPool(n_vertices=2, capacity=2)
+    with pytest.raises(KeyError):
+        pool.view(1)
+
+
+def test_growth_preserves_contents():
+    pool = VertexPool(n_vertices=2, capacity=2, growth=2.0)
+    slots = [pool.acquire(np.full((2, 3), float(i))) for i in range(5)]
+    assert pool.grow_events >= 1
+    assert pool.capacity >= 5
+    for i, s in enumerate(slots):
+        assert np.all(pool.view(s) == float(i))
+
+
+def test_no_allocation_when_capacity_sufficient():
+    pool = VertexPool(n_vertices=3, capacity=16)
+    for i in range(10):
+        pool.acquire(np.zeros((3, 3)))
+    assert pool.grow_events == 0
+
+
+def test_shape_validation():
+    pool = VertexPool(n_vertices=4, capacity=2)
+    with pytest.raises(ValueError):
+        pool.acquire(np.zeros((5, 3)))
+
+
+def test_batch_gathers_in_order():
+    pool = VertexPool(n_vertices=1, capacity=4)
+    s = [pool.acquire(np.full((1, 3), float(i))) for i in range(3)]
+    batch = pool.batch([s[2], s[0]])
+    assert batch[0, 0, 0] == 2.0
+    assert batch[1, 0, 0] == 0.0
+
+
+def test_write_batch_scatters_back():
+    pool = VertexPool(n_vertices=1, capacity=4)
+    s = [pool.acquire(np.zeros((1, 3))) for _ in range(2)]
+    pool.write_batch(s, np.arange(6, dtype=float).reshape(2, 1, 3))
+    assert np.all(pool.view(s[1]) == [3.0, 4.0, 5.0])
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        VertexPool(n_vertices=2, capacity=0)

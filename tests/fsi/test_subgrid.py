@@ -1,0 +1,74 @@
+"""Background uniform subgrid: fixed-radius queries (Section 2.4.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fsi import UniformSubgrid
+
+
+def test_query_finds_inserted_point():
+    g = UniformSubgrid(cell_size=1.0)
+    g.insert(np.array([[0.5, 0.5, 0.5]]), labels=7)
+    idx, labels = g.query(np.array([0.6, 0.5, 0.5]), radius=0.5)
+    assert len(idx) == 1
+    assert labels[0] == 7
+
+
+def test_query_excludes_far_points():
+    g = UniformSubgrid(cell_size=1.0)
+    g.insert(np.array([[0.0, 0.0, 0.0], [5.0, 5.0, 5.0]]), labels=np.array([1, 2]))
+    _, labels = g.query(np.array([0.1, 0.0, 0.0]), radius=0.5)
+    assert set(labels) == {1}
+
+
+def test_query_radius_bounded_by_cell_size():
+    g = UniformSubgrid(cell_size=0.5)
+    g.insert(np.array([[0.0, 0.0, 0.0]]), labels=0)
+    with pytest.raises(ValueError):
+        g.query(np.zeros(3), radius=1.0)
+
+
+def test_negative_coordinates_supported():
+    g = UniformSubgrid(cell_size=1.0)
+    g.insert(np.array([[-3.2, -0.1, -7.9]]), labels=3)
+    _, labels = g.query(np.array([-3.0, 0.0, -8.0]), radius=0.6)
+    assert 3 in labels
+
+
+def test_query_labels_near_unions_over_points():
+    g = UniformSubgrid(cell_size=1.0)
+    g.insert(np.array([[0.0, 0, 0]]), labels=1)
+    g.insert(np.array([[10.0, 0, 0]]), labels=2)
+    probe = np.array([[0.1, 0, 0], [9.9, 0, 0]])
+    assert g.query_labels_near(probe, radius=0.5) == {1, 2}
+
+
+def test_len_counts_points():
+    g = UniformSubgrid(cell_size=1.0)
+    g.insert(np.zeros((4, 3)), labels=0)
+    assert len(g) == 4
+
+
+def test_cell_size_validation():
+    with pytest.raises(ValueError):
+        UniformSubgrid(cell_size=0.0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    radius=st.floats(0.05, 0.99),
+)
+def test_matches_brute_force(seed, radius):
+    """Property: subgrid query == brute-force distance filter."""
+    rng = np.random.default_rng(seed)
+    pts = rng.uniform(-2.0, 2.0, size=(60, 3))
+    labels = rng.integers(0, 10, size=60)
+    g = UniformSubgrid(cell_size=1.0)
+    g.insert(pts, labels)
+    probe = rng.uniform(-2.0, 2.0, size=3)
+    idx, found = g.query(probe, radius)
+    brute = np.nonzero(((pts - probe) ** 2).sum(axis=1) <= radius * radius)[0]
+    assert set(idx.tolist()) == set(brute.tolist())

@@ -1,0 +1,73 @@
+"""Cell-wall repulsion forces."""
+
+import numpy as np
+
+from repro.fsi import wall_normals_from_sdf, wall_repulsion_forces
+from repro.geometry import Tube
+
+CUTOFF = 1.0e-6
+K = 1e-10
+
+
+def test_no_force_far_from_wall():
+    tube = Tube(radius=20e-6)
+    verts = np.array([[0.0, 0, 0], [5e-6, 0, 0]])
+    f = wall_repulsion_forces(tube, verts, CUTOFF, K)
+    assert np.allclose(f, 0.0)
+
+
+def test_force_points_into_fluid():
+    tube = Tube(radius=10e-6)
+    verts = np.array([[9.5e-6, 0.0, 0.0]])  # 0.5 um from the wall
+    f = wall_repulsion_forces(tube, verts, CUTOFF, K)
+    assert f[0, 0] < 0  # pushed back toward the axis
+    assert abs(f[0, 1]) < 1e-3 * abs(f[0, 0])
+
+
+def test_force_magnitude_ramp():
+    tube = Tube(radius=10e-6)
+    near = wall_repulsion_forces(tube, np.array([[9.8e-6, 0, 0]]), CUTOFF, K)
+    far = wall_repulsion_forces(tube, np.array([[9.2e-6, 0, 0]]), CUTOFF, K)
+    assert np.linalg.norm(near[0]) > np.linalg.norm(far[0]) > 0
+    # Linear ramp: F(d) = k (1 - d/dc).
+    assert np.isclose(np.linalg.norm(near[0]), K * (1 - 0.2), rtol=0.05)
+
+
+def test_vertex_past_wall_gets_full_push():
+    tube = Tube(radius=10e-6)
+    f = wall_repulsion_forces(tube, np.array([[10.4e-6, 0, 0]]), CUTOFF, K)
+    assert np.isclose(np.linalg.norm(f[0]), K, rtol=0.05)
+    assert f[0, 0] < 0
+
+
+def test_normals_unit_and_inward():
+    tube = Tube(radius=10e-6)
+    pts = np.array([[9e-6, 0, 0], [0, 9e-6, 0], [6.4e-6, 6.4e-6, 5e-6]])
+    n = wall_normals_from_sdf(tube, pts, h=0.25e-6)
+    assert np.allclose(np.linalg.norm(n, axis=1), 1.0)
+    for p, nn in zip(pts, n):
+        radial = np.array([p[0], p[1], 0.0])
+        radial /= np.linalg.norm(radial)
+        assert nn @ radial < -0.99  # points toward the axis
+
+
+def test_plain_callable_sdf():
+    f = wall_repulsion_forces(
+        lambda p: p[..., 0] - 5e-6,  # wall at x = 5 um, fluid below
+        np.array([[4.6e-6, 0, 0]]),
+        CUTOFF,
+        K,
+    )
+    assert f[0, 0] < 0
+
+
+def test_zero_cutoff_disables():
+    tube = Tube(radius=10e-6)
+    f = wall_repulsion_forces(tube, np.array([[9.9e-6, 0, 0]]), 0.0, K)
+    assert np.allclose(f, 0.0)
+
+
+def test_empty_input():
+    tube = Tube(radius=10e-6)
+    f = wall_repulsion_forces(tube, np.empty((0, 3)), CUTOFF, K)
+    assert f.shape == (0, 3)

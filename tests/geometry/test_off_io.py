@@ -1,0 +1,71 @@
+"""OFF surface-mesh reader/writer."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import read_off, write_off
+from repro.membrane import icosphere
+
+
+def test_roundtrip(tmp_path):
+    verts, faces = icosphere(1, radius=2.0)
+    path = tmp_path / "cell.off"
+    write_off(path, verts, faces)
+    v2, f2 = read_off(path)
+    assert np.allclose(v2, verts)
+    assert np.array_equal(f2, faces)
+
+
+def test_read_with_comments_and_blank_lines(tmp_path):
+    path = tmp_path / "c.off"
+    path.write_text(
+        "OFF\n# a comment\n\n4 2 0\n0 0 0\n1 0 0  # inline comment\n0 1 0\n0 0 1\n3 0 1 2\n3 0 2 3\n"
+    )
+    verts, faces = read_off(path)
+    assert verts.shape == (4, 3)
+    assert faces.shape == (2, 3)
+
+
+def test_quad_faces_fan_triangulated(tmp_path):
+    path = tmp_path / "q.off"
+    path.write_text("OFF\n4 1 0\n0 0 0\n1 0 0\n1 1 0\n0 1 0\n4 0 1 2 3\n")
+    _, faces = read_off(path)
+    assert faces.shape == (2, 3)
+    assert np.array_equal(faces, [[0, 1, 2], [0, 2, 3]])
+
+
+def test_bad_header_rejected(tmp_path):
+    path = tmp_path / "bad.off"
+    path.write_text("PLY\n1 0 0\n0 0 0\n")
+    with pytest.raises(ValueError):
+        read_off(path)
+
+
+def test_out_of_range_index_rejected(tmp_path):
+    path = tmp_path / "bad2.off"
+    path.write_text("OFF\n3 1 0\n0 0 0\n1 0 0\n0 1 0\n3 0 1 9\n")
+    with pytest.raises(ValueError):
+        read_off(path)
+
+
+def test_degenerate_face_rejected(tmp_path):
+    path = tmp_path / "bad3.off"
+    path.write_text("OFF\n3 1 0\n0 0 0\n1 0 0\n0 1 0\n2 0 1\n")
+    with pytest.raises(ValueError):
+        read_off(path)
+
+
+def test_write_validates_shapes(tmp_path):
+    with pytest.raises(ValueError):
+        write_off(tmp_path / "x.off", np.zeros((3, 2)), np.zeros((1, 3), dtype=int))
+    with pytest.raises(ValueError):
+        write_off(tmp_path / "x.off", np.zeros((3, 3)), np.zeros((1, 4), dtype=int))
+
+
+def test_precision_roundtrip(tmp_path):
+    verts = np.array([[1.23456789e-6, -9.87654321e-7, 3.14159265e-6]])
+    faces = np.zeros((0, 3), dtype=np.int64)
+    path = tmp_path / "p.off"
+    write_off(path, np.vstack([verts, verts, verts]), np.array([[0, 1, 2]]))
+    v2, _ = read_off(path)
+    assert np.allclose(v2[0], verts[0], rtol=1e-8)

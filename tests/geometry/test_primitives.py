@@ -1,0 +1,95 @@
+"""SDF primitives: sign conventions and geometry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import BoxChannel, ExpandingChannel, Tube, sdf_capsule
+
+
+def test_tube_signs():
+    t = Tube(radius=1.0, axis=2)
+    pts = np.array([[0.0, 0, 0], [0.5, 0, 5.0], [2.0, 0, 0]])
+    s = t.sdf(pts)
+    assert s[0] < 0 and s[1] < 0 and s[2] > 0
+
+
+def test_tube_distance_exact():
+    t = Tube(radius=2.0, axis=2, center=(1.0, 0.0))
+    s = t.sdf(np.array([[4.0, 0.0, 7.0]]))
+    assert np.isclose(s[0], 1.0)
+
+
+def test_tube_axis_selection():
+    t = Tube(radius=1.0, axis=0)
+    # Points along x are inside regardless of x.
+    assert t.sdf(np.array([[100.0, 0.0, 0.0]]))[0] < 0
+    assert t.sdf(np.array([[0.0, 2.0, 0.0]]))[0] > 0
+
+
+def test_box_channel_signs():
+    b = BoxChannel(lo=(0, 0, 0), hi=(1, 2, 3))
+    assert b.sdf(np.array([[0.5, 1.0, 1.5]]))[0] < 0
+    assert b.sdf(np.array([[1.5, 1.0, 1.5]]))[0] > 0
+
+
+def test_box_channel_open_axes():
+    b = BoxChannel(lo=(0, 0, 0), hi=(1, 1, 1), open_axes=(2,))
+    assert b.sdf(np.array([[0.5, 0.5, 99.0]]))[0] < 0
+    assert b.sdf(np.array([[2.0, 0.5, 99.0]]))[0] > 0
+
+
+def test_expanding_channel_radii():
+    c = ExpandingChannel(radius_in=1.0, radius_out=2.0, z_expand=5.0, taper=0.0)
+    assert np.isclose(c.local_radius(np.array([0.0]))[0], 1.0)
+    assert np.isclose(c.local_radius(np.array([9.0]))[0], 2.0)
+
+
+def test_expanding_channel_taper_monotone():
+    c = ExpandingChannel(radius_in=1.0, radius_out=2.0, z_expand=5.0, taper=2.0)
+    z = np.linspace(4, 8, 30)
+    r = c.local_radius(z)
+    assert np.all(np.diff(r) >= 0)
+    assert np.isclose(c.local_radius(np.array([5.0]))[0], 1.0)
+    assert np.isclose(c.local_radius(np.array([7.0]))[0], 2.0)
+
+
+def test_expanding_channel_sdf_wider_downstream():
+    c = ExpandingChannel(radius_in=1.0, radius_out=2.0, z_expand=5.0, taper=0.0)
+    p = np.array([[1.5, 0.0, 0.0], [1.5, 0.0, 9.0]])
+    s = c.sdf(p)
+    assert s[0] > 0  # outside the narrow section
+    assert s[1] < 0  # inside the wide section
+
+
+def test_capsule_endpoints_and_middle():
+    a, b = np.zeros(3), np.array([4.0, 0, 0])
+    probes = np.array([[2.0, 0.5, 0.0], [-1.0, 0.0, 0.0], [5.5, 0, 0]])
+    s = sdf_capsule(probes, a, b, radius=1.0)
+    assert np.isclose(s[0], -0.5)
+    assert np.isclose(s[1], 0.0)
+    assert np.isclose(s[2], 0.5)
+
+
+def test_capsule_degenerate_segment_is_sphere():
+    a = np.array([1.0, 1.0, 1.0])
+    s = sdf_capsule(np.array([[1.0, 1.0, 3.0]]), a, a, radius=1.0)
+    assert np.isclose(s[0], 1.0)
+
+
+def test_points_shape_validation():
+    with pytest.raises(ValueError):
+        Tube(radius=1.0).sdf(np.zeros((3, 2)))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    x=st.floats(-3, 3), y=st.floats(-3, 3), z=st.floats(-3, 3),
+)
+def test_tube_sdf_is_distance_property(x, y, z):
+    """|sdf| equals the Euclidean distance to the tube wall surface."""
+    t = Tube(radius=1.5, axis=2)
+    s = float(t.sdf(np.array([[x, y, z]]))[0])
+    r = np.hypot(x, y)
+    assert np.isclose(s, r - 1.5, atol=1e-12)

@@ -1,0 +1,45 @@
+"""SDF voxelization onto lattices."""
+
+import numpy as np
+
+from repro.geometry import Tube, solid_mask_for_grid, solid_mask_from_sdf
+from repro.lbm import Grid
+
+
+def test_tube_mask_solid_outside():
+    t = Tube(radius=4.0, axis=2)
+    mask = solid_mask_from_sdf(t, (9, 9, 4), np.array([-4.0, -4.0, 0.0]), 1.0)
+    assert not mask[4, 4, 0]  # center fluid
+    assert mask[0, 0, 0]  # corner solid (r = 5.66 > 4)
+
+
+def test_mask_from_plain_callable():
+    mask = solid_mask_from_sdf(
+        lambda p: p[..., 0] - 2.5, (6, 3, 3), np.zeros(3), 1.0
+    )
+    assert not mask[:3].any()
+    assert mask[3:].all()
+
+
+def test_chunking_consistent():
+    t = Tube(radius=3.0)
+    full = solid_mask_from_sdf(t, (20, 8, 8), np.array([-4.0, -4.0, 0.0]), 1.0, chunk=64)
+    chunked = solid_mask_from_sdf(t, (20, 8, 8), np.array([-4.0, -4.0, 0.0]), 1.0, chunk=3)
+    assert np.array_equal(full, chunked)
+
+
+def test_solid_mask_for_grid_uses_grid_layout():
+    g = Grid((8, 8, 4), tau=0.8, origin=np.array([-3.5, -3.5, 0.0]), spacing=1.0)
+    mask = solid_mask_for_grid(g, Tube(radius=3.0))
+    direct = solid_mask_from_sdf(Tube(radius=3.0), g.shape, g.origin, g.spacing)
+    assert np.array_equal(mask, direct)
+
+
+def test_fluid_fraction_close_to_circle_area():
+    """Voxelized tube cross-section area approximates pi r^2."""
+    r, n = 10.0, 64
+    t = Tube(radius=r, axis=2)
+    origin = np.array([-(n - 1) / 2.0, -(n - 1) / 2.0, 0.0])
+    mask = solid_mask_from_sdf(t, (n, n, 1), origin, 1.0)
+    fluid = (~mask[:, :, 0]).sum()
+    assert abs(fluid - np.pi * r**2) / (np.pi * r**2) < 0.05

@@ -1,0 +1,76 @@
+"""Delta kernel properties: support, partition of unity, symmetry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ibm import KERNELS, cosine4, linear2, peskin4
+
+
+@pytest.mark.parametrize("name", list(KERNELS))
+def test_kernel_vanishes_outside_support(name):
+    k = KERNELS[name]
+    half = k.support / 2.0
+    r = np.array([half + 1e-9, -half - 1e-9, half + 5.0])
+    assert np.allclose(k.phi(r), 0.0)
+
+
+@pytest.mark.parametrize("name", list(KERNELS))
+def test_kernel_even(name):
+    k = KERNELS[name]
+    r = np.linspace(0, 2.5, 40)
+    assert np.allclose(k.phi(r), k.phi(-r))
+
+
+@pytest.mark.parametrize("name", list(KERNELS))
+def test_kernel_nonnegative(name):
+    k = KERNELS[name]
+    r = np.linspace(-3, 3, 200)
+    assert np.all(k.phi(r) >= 0)
+
+
+@pytest.mark.parametrize("name", list(KERNELS))
+def test_kernel_peak_at_origin(name):
+    k = KERNELS[name]
+    r = np.linspace(-2, 2, 101)
+    assert k.phi(np.array([0.0]))[0] == k.phi(r).max()
+
+
+def test_cosine4_value_at_zero():
+    assert np.isclose(cosine4(np.array([0.0]))[0], 0.5)
+
+
+def test_peskin4_value_at_zero():
+    assert np.isclose(peskin4(np.array([0.0]))[0], 0.5)
+
+
+def test_linear2_value_at_zero():
+    assert np.isclose(linear2(np.array([0.0]))[0], 1.0)
+
+
+@pytest.mark.parametrize("name", list(KERNELS))
+@settings(max_examples=40, deadline=None)
+@given(frac=st.floats(0.0, 1.0, exclude_max=True))
+def test_partition_of_unity_property(name, frac):
+    """sum_j phi(frac - j) == 1 for any marker offset (force conservation)."""
+    k = KERNELS[name]
+    nodes = np.arange(-4, 5)
+    total = k.phi(frac - nodes).sum()
+    assert np.isclose(total, 1.0, atol=1e-12)
+
+
+def test_peskin4_even_odd_condition():
+    """Peskin kernel: sums over even and over odd nodes are each 1/2."""
+    r = 0.37
+    nodes = np.arange(-4, 5)
+    vals = peskin4(r - nodes)
+    even = vals[(nodes % 2) == 0].sum()
+    odd = vals[(nodes % 2) != 0].sum()
+    assert np.isclose(even, 0.5, atol=1e-12)
+    assert np.isclose(odd, 0.5, atol=1e-12)
+
+
+def test_offsets_cover_support():
+    assert list(KERNELS["cosine4"].offsets()) == [-1, 0, 1, 2]
+    assert list(KERNELS["linear2"].offsets()) == [0, 1]

@@ -1,0 +1,54 @@
+"""Experiment driver parameter validation and light invariants."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.expanding_channel import ChannelParams
+from repro.experiments.shear_layers import run_shear_layers
+
+
+def test_shear_requires_divisible_channel():
+    with pytest.raises(ValueError):
+        run_shear_layers(ny_channel=13)
+
+
+def test_channel_params_defaults_consistent():
+    p = ChannelParams()
+    assert p.radius_out > p.radius_in
+    assert p.length > p.z_expand
+    assert p.ctc_radial_offset < p.radius_in
+    assert p.ctc_z0 < p.z_expand
+    # CTC fits the inlet with clearance.
+    assert p.ctc_diameter / 2 < p.radius_in - p.ctc_radial_offset
+
+
+def test_channel_params_lattice_mach_reasonable():
+    """Default inlet speed keeps the coarse lattice weakly compressible."""
+    p = ChannelParams()
+    nu_blood = 4e-3 / 1025.0
+    dx_c = p.fine_spacing * p.refinement
+    lam = (1.2e-3 / 1025.0) / nu_blood
+    tau_c = 0.5 + (p.tau_fine - 0.5) / (p.refinement * lam)
+    dt_c = (tau_c - 0.5) / 3.0 * dx_c**2 / nu_blood
+    u_lat = 2 * p.inlet_velocity * dt_c / dx_c
+    assert u_lat * np.sqrt(3.0) < 0.15
+
+
+def test_upper_body_sweep_rejects_nothing_by_default():
+    from repro.experiments.upper_body import run_upper_body_sweep
+
+    # Parameter sanity only (the heavy path runs in its own test file).
+    import inspect
+
+    sig = inspect.signature(run_upper_body_sweep)
+    assert sig.parameters["scale"].default == 0.1
+    assert sig.parameters["window_cells"].default >= 2
+
+
+def test_stretching_default_forces_span_tweezers_range():
+    from repro.experiments.stretching import stretch_rbc
+    import inspect
+
+    # Default force sweep covers 0-50 pN (the Mills et al. range).
+    src = inspect.getsource(stretch_rbc)
+    assert "50e-12" in src

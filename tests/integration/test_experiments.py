@@ -1,0 +1,102 @@
+"""Smoke tests of the per-figure experiment drivers at minimal scale.
+
+These exercise the full code paths the benchmarks use; the benchmark
+harness runs the same drivers at the documented toy scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.shear_layers import run_shear_layers
+from repro.experiments.tube_window import run_tube_window
+
+
+@pytest.mark.slow
+def test_shear_layers_driver():
+    r = run_shear_layers(lam=0.5, n=2, ny_channel=12, nxz=4, steps=500)
+    assert r.lam == 0.5
+    assert r.n == 2
+    assert 0 <= r.error_bulk < 0.2
+    assert 0 <= r.error_window < 0.3
+    # Profiles exported for Fig. 4 style plots.
+    assert len(r.y_window) == len(r.u_window)
+    assert len(r.y_analytic) == len(r.u_analytic)
+    # Window velocities bracketed by the plate speeds.
+    assert r.u_window.min() >= -1e-9
+    assert r.u_window.max() <= 0.02 + 1e-9
+
+
+@pytest.mark.slow
+def test_tube_window_driver():
+    r = run_tube_window(
+        hematocrit=0.15,
+        tube_diameter=28e-6,
+        tube_length=56e-6,
+        coarse_spacing=2e-6,
+        refinement=2,
+        steps=30,
+        rbc_subdivisions=1,
+        maintain_interval=10,
+    )
+    assert r.extras["n_cells_initial"] > 0
+    assert r.n_cells_final > 0
+    assert len(r.times) == len(r.hematocrit)
+    assert r.hematocrit[-1] > 0.05  # cells present and counted
+    # Effective viscosity close to the Pries bulk value it was set to.
+    assert 0.5 * r.mu_pries < r.mu_effective < 2.0 * r.mu_pries
+
+
+@pytest.mark.slow
+def test_expanding_channel_apr_driver():
+    from repro.experiments.expanding_channel import (
+        ChannelParams,
+        run_expanding_channel_apr,
+    )
+
+    params = ChannelParams(
+        radius_in=9e-6,
+        radius_out=18e-6,
+        z_expand=40e-6,
+        taper=15e-6,
+        length=110e-6,
+        fine_spacing=1.5e-6,
+        refinement=2,
+        hematocrit=0.10,
+        ctc_diameter=8e-6,
+        ctc_radial_offset=3e-6,
+        ctc_z0=18e-6,
+        rbc_diameter=5.5e-6,
+        rbc_subdivisions=1,
+    )
+    r = run_expanding_channel_apr(seed=0, params=params, steps=10, sample_every=5)
+    assert r.method == "apr"
+    assert r.trajectory.shape[1] == 3
+    assert np.isfinite(r.trajectory).all()
+    assert r.n_fluid_nodes > 0
+
+
+@pytest.mark.slow
+def test_expanding_channel_efsi_driver():
+    from repro.experiments.expanding_channel import (
+        ChannelParams,
+        run_expanding_channel_efsi,
+    )
+
+    params = ChannelParams(
+        radius_in=9e-6,
+        radius_out=18e-6,
+        z_expand=40e-6,
+        taper=15e-6,
+        length=90e-6,
+        fine_spacing=1.5e-6,
+        hematocrit=0.10,
+        ctc_diameter=8e-6,
+        ctc_radial_offset=3e-6,
+        ctc_z0=18e-6,
+        rbc_diameter=5.5e-6,
+        rbc_subdivisions=1,
+    )
+    r = run_expanding_channel_efsi(seed=0, params=params, steps=10, sample_every=5)
+    assert r.method == "efsi"
+    assert r.n_rbcs > 0
+    assert np.isfinite(r.trajectory).all()

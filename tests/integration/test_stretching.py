@@ -1,0 +1,54 @@
+"""Optical-tweezers RBC stretching (membrane validation)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.stretching import stretch_rbc
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return stretch_rbc(
+        forces=np.array([0.0, 20e-12, 50e-12]), relax_steps=2500
+    )
+
+
+@pytest.mark.slow
+def test_zero_force_preserves_shape(sweep):
+    assert np.isclose(sweep.axial_diameter[0], sweep.rest_axial, rtol=1e-3)
+    assert np.isclose(sweep.transverse_diameter[0], sweep.rest_transverse, rtol=1e-3)
+
+
+@pytest.mark.slow
+def test_axial_extension_monotone(sweep):
+    assert np.all(np.diff(sweep.axial_diameter) > 0)
+
+
+@pytest.mark.slow
+def test_transverse_contraction_monotone(sweep):
+    assert np.all(np.diff(sweep.transverse_diameter) < 0)
+
+
+@pytest.mark.slow
+def test_mills_experiment_band(sweep):
+    """At 50 pN a healthy RBC stretches to ~10-12 um axial, ~6-7.5 um
+    transverse (Mills et al. 2004, the standard validation target)."""
+    ax = sweep.axial_diameter[-1]
+    tr = sweep.transverse_diameter[-1]
+    assert 9.0e-6 < ax < 13.0e-6
+    assert 6.0e-6 < tr < 7.8e-6
+
+
+@pytest.mark.slow
+def test_results_finite(sweep):
+    assert np.isfinite(sweep.axial_diameter).all()
+    assert np.isfinite(sweep.transverse_diameter).all()
+    assert np.isfinite(sweep.residuals).all()
+
+
+@pytest.mark.slow
+def test_larger_force_stretches_more():
+    small = stretch_rbc(forces=np.array([30e-12]), relax_steps=1500)
+    big = stretch_rbc(forces=np.array([120e-12]), relax_steps=1500)
+    assert big.axial_diameter[0] > small.axial_diameter[0]
+    assert big.transverse_diameter[0] < small.transverse_diameter[0]

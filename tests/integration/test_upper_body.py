@@ -1,0 +1,29 @@
+"""Upper-body window-sweep feasibility (Fig. 1 mechanics)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.upper_body import run_upper_body_sweep
+
+
+@pytest.mark.slow
+def test_sweep_places_windows_along_path():
+    r = run_upper_body_sweep(generations=1, window_cells=4, steps_per_stop=2)
+    assert r.n_placed > 0
+    assert r.n_placed <= r.n_waypoints
+    assert r.waypoints.shape == (r.n_placed, 3)
+
+
+@pytest.mark.slow
+def test_sweep_coupling_stays_healthy():
+    r = run_upper_body_sweep(generations=1, window_cells=4, steps_per_stop=2)
+    assert r.max_density_error < 0.05
+
+
+def test_paper_scale_window_rbc_count():
+    """20M+ RBCs in the 1.7 mm window at 40% Ht (Section 3.5)."""
+    from repro.perfmodel.memory import rbc_count_for_volume
+
+    n = rbc_count_for_volume((1.7e-3) ** 3, 0.40)
+    assert n > 20e6
+    assert n < 25e6

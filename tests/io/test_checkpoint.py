@@ -1,0 +1,73 @@
+"""Checkpoint save/restore."""
+
+import numpy as np
+
+from repro.fsi import CellManager
+from repro.io import load_checkpoint, save_checkpoint
+from repro.membrane import CellKind, make_ctc, make_rbc
+
+
+def _population():
+    m = CellManager()
+    rbc = make_rbc(np.array([5e-6, 0, 0]), global_id=m.allocate_id(), subdivisions=2)
+    m.add(rbc)
+    rbc.vertices *= 1.02  # deform so restore must keep the shape
+    ctc = make_ctc(np.array([0, 20e-6, 0]), global_id=m.allocate_id(), subdivisions=2)
+    m.add(ctc)
+    return m
+
+
+def test_roundtrip_fields(tmp_path, rng):
+    path = tmp_path / "ck.npz"
+    f_coarse = rng.random((19, 4, 4, 4))
+    f_fine = rng.random((19, 6, 6, 6))
+    save_checkpoint(path, step=123, f_coarse=f_coarse, f_fine=f_fine)
+    out = load_checkpoint(path)
+    assert out["step"] == 123
+    assert np.array_equal(out["f_coarse"], f_coarse)
+    assert np.array_equal(out["f_fine"], f_fine)
+
+
+def test_roundtrip_cells(tmp_path, rng):
+    path = tmp_path / "ck.npz"
+    m = _population()
+    shapes = {c.global_id: c.vertices.copy() for c in m.cells}
+    kinds = {c.global_id: c.kind for c in m.cells}
+    save_checkpoint(path, step=1, f_coarse=np.zeros((19, 2, 2, 2)), manager=m)
+    out = load_checkpoint(path)
+    m2 = out["manager"]
+    assert m2.n_cells == 2
+    for gid, verts in shapes.items():
+        cell = m2.get(gid)
+        assert np.allclose(cell.vertices, verts)
+        assert cell.kind is kinds[gid]
+
+
+def test_restored_cells_have_working_mechanics(tmp_path):
+    path = tmp_path / "ck.npz"
+    m = _population()
+    save_checkpoint(path, step=0, f_coarse=np.zeros((19, 2, 2, 2)), manager=m)
+    m2 = load_checkpoint(path)["manager"]
+    forces = m2.membrane_forces()
+    assert len(forces) == 2
+    for f in forces.values():
+        assert np.isfinite(f).all()
+
+
+def test_extra_payload(tmp_path):
+    path = tmp_path / "ck.npz"
+    save_checkpoint(
+        path,
+        step=5,
+        f_coarse=np.zeros((19, 2, 2, 2)),
+        extra={"window_center": np.array([1.0, 2.0, 3.0])},
+    )
+    out = load_checkpoint(path)
+    assert np.allclose(out["extra"]["window_center"], [1.0, 2.0, 3.0])
+
+
+def test_no_fine_field(tmp_path):
+    path = tmp_path / "ck.npz"
+    save_checkpoint(path, step=0, f_coarse=np.zeros((19, 2, 2, 2)))
+    out = load_checkpoint(path)
+    assert "f_fine" not in out

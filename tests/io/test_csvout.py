@@ -1,0 +1,51 @@
+"""CSV output helpers."""
+
+import numpy as np
+
+from repro.io import TimeSeriesWriter, TrajectoryWriter, read_csv, write_csv
+
+
+def test_roundtrip(tmp_path):
+    path = tmp_path / "data.csv"
+    rows = [[1.0, 2.5], [3.0, -4.25]]
+    write_csv(path, ["a", "b"], rows)
+    header, data = read_csv(path)
+    assert header == ["a", "b"]
+    assert np.allclose(data, rows)
+
+
+def test_full_precision_roundtrip(tmp_path):
+    path = tmp_path / "p.csv"
+    value = 1.0 / 3.0
+    write_csv(path, ["v"], [[value]])
+    _, data = read_csv(path)
+    assert data[0, 0] == value  # repr() roundtrips doubles exactly
+
+
+def test_trajectory_writer(tmp_path):
+    path = tmp_path / "traj.csv"
+    with TrajectoryWriter(path) as w:
+        w.record(0.0, np.array([1e-6, 2e-6, 3e-6]))
+        w.record(1e-7, np.array([1.1e-6, 2e-6, 3e-6]))
+    header, data = read_csv(path)
+    assert header == ["time_s", "x_m", "y_m", "z_m"]
+    assert data.shape == (2, 4)
+    assert data[1, 1] == 1.1e-6
+
+
+def test_timeseries_writer(tmp_path):
+    path = tmp_path / "ht.csv"
+    with TimeSeriesWriter(path, ["hematocrit", "n_cells"]) as w:
+        w.record(0.0, hematocrit=0.19, n_cells=42)
+        w.record(1.0, hematocrit=0.21, n_cells=45)
+    header, data = read_csv(path)
+    assert header == ["time_s", "hematocrit", "n_cells"]
+    assert np.allclose(data[:, 1], [0.19, 0.21])
+
+
+def test_empty_rows(tmp_path):
+    path = tmp_path / "empty.csv"
+    write_csv(path, ["x"], [])
+    header, data = read_csv(path)
+    assert header == ["x"]
+    assert data.size == 0

@@ -1,0 +1,61 @@
+"""Legacy VTK writers (format-level checks)."""
+
+import numpy as np
+import pytest
+
+from repro.io import write_vtk_mesh, write_vtk_structured
+from repro.membrane import icosphere
+
+
+def test_structured_header_and_counts(tmp_path):
+    path = tmp_path / "field.vtk"
+    rho = np.ones((3, 4, 5))
+    u = np.zeros((3, 3, 4, 5))
+    write_vtk_structured(path, np.zeros(3), 1e-6, scalars={"rho": rho}, vectors={"u": u})
+    text = path.read_text()
+    assert "DIMENSIONS 3 4 5" in text
+    assert "POINT_DATA 60" in text
+    assert "SCALARS rho double 1" in text
+    assert "VECTORS u double" in text
+    # x-fastest ordering: 60 scalar lines follow the lookup table.
+    assert text.count("\n") > 60
+
+
+def test_structured_requires_fields(tmp_path):
+    with pytest.raises(ValueError):
+        write_vtk_structured(tmp_path / "x.vtk", np.zeros(3), 1.0)
+
+
+def test_structured_shape_mismatch(tmp_path):
+    with pytest.raises(ValueError):
+        write_vtk_structured(
+            tmp_path / "x.vtk",
+            np.zeros(3),
+            1.0,
+            scalars={"a": np.ones((2, 2, 2)), "b": np.ones((3, 3, 3))},
+        )
+
+
+def test_mesh_writer_counts(tmp_path):
+    verts, faces = icosphere(1)
+    path = tmp_path / "cell.vtk"
+    write_vtk_mesh(path, verts, faces, point_data={"fmag": np.ones(len(verts))})
+    text = path.read_text()
+    assert f"POINTS {len(verts)} double" in text
+    assert f"POLYGONS {len(faces)} {4 * len(faces)}" in text
+    assert "SCALARS fmag double 1" in text
+
+
+def test_mesh_writer_vector_point_data(tmp_path):
+    verts, faces = icosphere(0)
+    path = tmp_path / "cell.vtk"
+    write_vtk_mesh(path, verts, faces, point_data={"force": np.zeros((len(verts), 3))})
+    assert "VECTORS force double" in path.read_text()
+
+
+def test_mesh_writer_bad_point_data(tmp_path):
+    verts, faces = icosphere(0)
+    with pytest.raises(ValueError):
+        write_vtk_mesh(
+            tmp_path / "x.vtk", verts, faces, point_data={"bad": np.zeros((len(verts), 2))}
+        )

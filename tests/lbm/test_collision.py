@@ -1,0 +1,160 @@
+"""BGK collision, equilibrium, and Guo forcing properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lbm import D3Q19
+from repro.lbm.collision import (
+    collide_bgk,
+    equilibrium,
+    guo_source,
+    macroscopic,
+    non_equilibrium,
+)
+
+SHAPE = (4, 5, 6)
+
+
+def _random_state(rng, u_scale=0.05):
+    rho = 1.0 + 0.02 * rng.standard_normal(SHAPE)
+    u = u_scale * rng.standard_normal((3,) + SHAPE)
+    return rho, u
+
+
+def test_equilibrium_moments_match_inputs(rng):
+    rho, u = _random_state(rng)
+    feq = equilibrium(rho, u)
+    rho2, u2 = macroscopic(feq)
+    assert np.allclose(rho2, rho)
+    assert np.allclose(u2, u, atol=1e-12)
+
+
+def test_equilibrium_at_rest_is_weights(rng):
+    feq = equilibrium(np.ones(SHAPE), np.zeros((3,) + SHAPE))
+    for q in range(D3Q19.Q):
+        assert np.allclose(feq[q], D3Q19.w[q])
+
+
+def test_equilibrium_positive_at_moderate_velocity(rng):
+    rho, u = _random_state(rng, u_scale=0.05)
+    assert np.all(equilibrium(rho, u) > 0)
+
+
+def test_collision_conserves_mass_and_momentum(rng):
+    rho, u = _random_state(rng)
+    f = equilibrium(rho, u) * (1.0 + 0.01 * rng.standard_normal((19,) + SHAPE))
+    post, _, _ = collide_bgk(f, tau=0.8)
+    rho0, u0 = macroscopic(f)
+    rho1, u1 = macroscopic(post)
+    assert np.allclose(rho1, rho0)
+    assert np.allclose(rho1[None] * u1, rho0[None] * u0, atol=1e-14)
+
+
+def test_collision_fixed_point_is_equilibrium(rng):
+    rho, u = _random_state(rng)
+    feq = equilibrium(rho, u)
+    post, _, _ = collide_bgk(feq.copy(), tau=0.9)
+    assert np.allclose(post, feq)
+
+
+def test_collision_tau_one_projects_to_equilibrium(rng):
+    rho, u = _random_state(rng)
+    f = equilibrium(rho, u) * (1.0 + 0.01 * rng.standard_normal((19,) + SHAPE))
+    post, rho_pre, u_pre = collide_bgk(f, tau=1.0)
+    assert np.allclose(post, equilibrium(rho_pre, u_pre))
+
+
+def test_collision_out_buffer_reused(rng):
+    rho, u = _random_state(rng)
+    f = equilibrium(rho, u)
+    out = np.empty_like(f)
+    post, _, _ = collide_bgk(f, tau=0.7, out=out)
+    assert post is out
+
+
+def test_variable_tau_matches_scalar_on_uniform_field(rng):
+    rho, u = _random_state(rng)
+    f = equilibrium(rho, u) * (1.0 + 0.01 * rng.standard_normal((19,) + SHAPE))
+    post_scalar, _, _ = collide_bgk(f.copy(), tau=0.8)
+    post_field, _, _ = collide_bgk(f.copy(), tau=np.full(SHAPE, 0.8))
+    assert np.allclose(post_scalar, post_field)
+
+
+def test_variable_tau_acts_locally(rng):
+    rho, u = _random_state(rng)
+    f = equilibrium(rho, u) * (1.0 + 0.01 * rng.standard_normal((19,) + SHAPE))
+    tau = np.full(SHAPE, 0.8)
+    tau[2, :, :] = 1.5
+    post, _, _ = collide_bgk(f.copy(), tau=tau)
+    post_ref, _, _ = collide_bgk(f.copy(), tau=0.8)
+    # Away from the modified slab, identical; on it, different.
+    assert np.allclose(post[:, 0], post_ref[:, 0])
+    assert not np.allclose(post[:, 2], post_ref[:, 2])
+
+
+def test_guo_velocity_shift_halves_force(rng):
+    """Macroscopic velocity includes the +F/2 Guo correction."""
+    rho = np.ones(SHAPE)
+    u = np.zeros((3,) + SHAPE)
+    f = equilibrium(rho, u)
+    force = np.zeros((3,) + SHAPE)
+    force[0] = 1e-4
+    _, u_shifted = macroscopic(f, force)
+    assert np.allclose(u_shifted[0], 0.5e-4)
+
+
+def test_guo_source_adds_momentum(rng):
+    """One forced collision adds (1 - 1/(2 tau)) F to the bare momentum.
+
+    Starting from rest equilibrium, the pre-collision velocity measured
+    with the half-force shift is F/2; the Guo source then deposits
+    (1 - 1/(2 tau)) F so that, combined with the shift, exactly F of
+    momentum is gained per time step in steady forcing.
+    """
+    tau = 0.9
+    rho = np.ones(SHAPE)
+    u = np.zeros((3,) + SHAPE)
+    f = equilibrium(rho, u)
+    force = np.zeros((3,) + SHAPE)
+    force[2] = 2e-5
+    post, _, _ = collide_bgk(f, tau=tau, force=force)
+    mom = np.einsum("qa,qxyz->axyz", D3Q19.c.astype(float), post)
+    # Collision sees u = F/2 (half-shift) relaxing from u=0 state plus the
+    # source term: net bare momentum after one collision:
+    expected = (1.0 / tau) * 0.5 * force[2] + (1.0 - 0.5 / tau) * force[2]
+    assert np.allclose(mom[2], expected)
+
+
+def test_guo_source_zero_without_force(rng):
+    u = 0.01 * rng.standard_normal((3,) + SHAPE)
+    src = guo_source(u, np.zeros((3,) + SHAPE), tau=0.8)
+    assert np.allclose(src, 0.0)
+
+
+def test_non_equilibrium_definition(rng):
+    rho, u = _random_state(rng)
+    f = equilibrium(rho, u) * (1.0 + 0.01 * rng.standard_normal((19,) + SHAPE))
+    fneq = non_equilibrium(f, rho, u)
+    assert np.allclose(f - fneq, equilibrium(rho, u))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    ux=st.floats(-0.08, 0.08),
+    uy=st.floats(-0.08, 0.08),
+    uz=st.floats(-0.08, 0.08),
+    rho=st.floats(0.9, 1.1),
+)
+def test_equilibrium_moment_property(ux, uy, uz, rho):
+    """Property: f^eq reproduces (rho, u) for any moderate input."""
+    shape = (2, 2, 2)
+    rho_f = np.full(shape, rho)
+    u = np.zeros((3,) + shape)
+    u[0], u[1], u[2] = ux, uy, uz
+    feq = equilibrium(rho_f, u)
+    rho2, u2 = macroscopic(feq)
+    assert np.allclose(rho2, rho)
+    assert np.allclose(u2[0], ux, atol=1e-12)
+    assert np.allclose(u2[2], uz, atol=1e-12)

@@ -1,0 +1,87 @@
+"""Grid container: validation, coordinates, initialization."""
+
+import numpy as np
+import pytest
+
+from repro.lbm import Grid
+from repro.lbm.collision import macroscopic
+
+
+def test_rejects_unstable_tau():
+    with pytest.raises(ValueError):
+        Grid((4, 4, 4), tau=0.5)
+
+
+def test_rejects_bad_shape():
+    with pytest.raises(ValueError):
+        Grid((0, 4, 4), tau=0.8)
+
+
+def test_rejects_mismatched_tau_field():
+    with pytest.raises(ValueError):
+        Grid((4, 4, 4), tau=np.full((3, 4, 4), 0.8))
+
+
+def test_accepts_tau_field():
+    tau = np.full((4, 4, 4), 0.8)
+    tau[0] = 1.2
+    g = Grid((4, 4, 4), tau=tau)
+    assert np.allclose(g.tau_at(np.array([[0, 0, 0]])), 1.2)
+    assert np.allclose(g.tau_at(np.array([[2, 0, 0]])), 0.8)
+
+
+def test_tau_at_scalar_grid():
+    g = Grid((3, 3, 3), tau=0.9)
+    assert np.allclose(g.tau_at(np.array([[1, 1, 1], [0, 0, 0]])), 0.9)
+
+
+def test_initial_state_is_rest_equilibrium():
+    g = Grid((3, 3, 3), tau=0.8)
+    rho, u = macroscopic(g.f)
+    assert np.allclose(rho, 1.0)
+    assert np.allclose(u, 0.0)
+
+
+def test_init_equilibrium_with_fields(rng):
+    g = Grid((4, 4, 4), tau=0.8)
+    rho = 1.0 + 0.01 * rng.standard_normal(g.shape)
+    vel = 0.02 * rng.standard_normal((3,) + g.shape)
+    g.init_equilibrium(rho, vel)
+    rho2, u2 = macroscopic(g.f)
+    assert np.allclose(rho2, rho)
+    assert np.allclose(u2, vel, atol=1e-12)
+
+
+def test_node_positions_and_axis_coords():
+    g = Grid((3, 4, 5), tau=0.8, origin=np.array([1.0, 2.0, 3.0]), spacing=0.5)
+    pos = g.node_positions()
+    assert pos.shape == (3, 4, 5, 3)
+    assert np.allclose(pos[0, 0, 0], [1.0, 2.0, 3.0])
+    assert np.allclose(pos[2, 3, 4], [2.0, 3.5, 5.0])
+    assert np.allclose(g.axis_coords(1), [2.0, 2.5, 3.0, 3.5])
+
+
+def test_contains_with_margin():
+    g = Grid((5, 5, 5), tau=0.8, spacing=1.0)
+    pts = np.array([[0.0, 0.0, 0.0], [4.0, 4.0, 4.0], [2.0, 2.0, 2.0], [4.5, 2, 2]])
+    inside = g.contains(pts)
+    assert list(inside) == [True, True, True, False]
+    inside_margin = g.contains(pts, margin=0.5)
+    assert list(inside_margin) == [False, False, True, False]
+
+
+def test_physical_to_index():
+    g = Grid((5, 5, 5), tau=0.8, origin=np.array([1.0, 0.0, 0.0]), spacing=2.0)
+    idx = g.physical_to_index(np.array([[3.0, 4.0, 1.0]]))
+    assert np.allclose(idx, [[1.0, 2.0, 0.5]])
+
+
+def test_n_fluid_counts_non_solid():
+    g = Grid((4, 4, 4), tau=0.8)
+    g.solid[0] = True
+    assert g.n_fluid == 64 - 16
+
+
+def test_nu_property():
+    g = Grid((3, 3, 3), tau=1.1)
+    assert np.isclose(g.nu, (1.1 - 0.5) / 3.0)

@@ -1,0 +1,78 @@
+"""Parameter-choice advisor."""
+
+import numpy as np
+import pytest
+
+from repro.lbm.stability import (
+    StabilityReport,
+    check_parameters,
+    membrane_coupling_limit,
+    suggest_dt,
+)
+from repro.units import UnitSystem
+
+NU_PLASMA = 1.2e-3 / 1025.0
+
+
+def test_good_parameters_pass():
+    dx = 1e-6
+    dt = suggest_dt(dx, NU_PLASMA, u_max=0.01)
+    rep = check_parameters(UnitSystem(dx, dt), NU_PLASMA, u_max=0.01)
+    assert rep.ok
+    assert 0.55 <= rep.tau <= 2.0
+    assert rep.mach <= 0.1
+
+
+def test_too_small_tau_flagged():
+    dx = 1e-6
+    dt = 1e-9  # tiny dt -> tau near 0.5
+    rep = check_parameters(UnitSystem(dx, dt), NU_PLASMA, u_max=0.001)
+    assert not rep.ok
+    assert any("tau" in m for m in rep.messages)
+
+
+def test_too_large_tau_flagged():
+    dx = 1e-6
+    dt = 1e-5
+    rep = check_parameters(UnitSystem(dx, dt), NU_PLASMA, u_max=1e-6)
+    assert not rep.ok
+
+
+def test_high_mach_flagged():
+    dx = 1e-6
+    dt = suggest_dt(dx, NU_PLASMA, u_max=0.001)
+    rep = check_parameters(UnitSystem(dx, dt), NU_PLASMA, u_max=10.0)
+    assert not rep.ok
+    assert any("Mach" in m for m in rep.messages)
+
+
+def test_suggest_dt_respects_both_bounds():
+    dx = 1e-6
+    # Slow flow: tau bound binds.
+    dt_slow = suggest_dt(dx, NU_PLASMA, u_max=1e-4, tau_target=1.0)
+    units = UnitSystem(dx, dt_slow)
+    assert np.isclose(units.tau_for_viscosity(NU_PLASMA), 1.0)
+    # Fast flow: Mach bound binds, dt shrinks.
+    dt_fast = suggest_dt(dx, NU_PLASMA, u_max=1.0, tau_target=1.0)
+    assert dt_fast < dt_slow
+    rep = check_parameters(UnitSystem(dx, dt_fast), NU_PLASMA, u_max=1.0)
+    assert rep.mach <= 0.1 + 1e-12
+
+
+def test_suggest_dt_validation():
+    with pytest.raises(ValueError):
+        suggest_dt(0.0, NU_PLASMA, 0.01)
+
+
+def test_membrane_coupling_ratio_scales():
+    units = UnitSystem(0.5e-6, 1e-7, 1025.0)
+    soft = membrane_coupling_limit(units, 5e-6, 0.5e-6)
+    stiff = membrane_coupling_limit(units, 1e-4, 0.5e-6)
+    assert stiff == pytest.approx(20 * soft)
+    with pytest.raises(ValueError):
+        membrane_coupling_limit(units, 5e-6, 0.0)
+
+
+def test_report_string():
+    rep = StabilityReport(ok=True, tau=1.0, mach=0.05, messages=("fine",))
+    assert "OK" in str(rep)

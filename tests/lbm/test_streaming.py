@@ -1,0 +1,83 @@
+"""Streaming step and solid-upwind mask construction."""
+
+import numpy as np
+import pytest
+
+from repro.lbm import D3Q19, stream_pull
+from repro.lbm.streaming import upwind_solid_masks
+
+
+def test_stream_moves_pulse_along_velocity(rng):
+    shape = (6, 6, 6)
+    f = np.zeros((19,) + shape)
+    q = 1  # c = (1, 0, 0)
+    f[q, 2, 3, 3] = 1.0
+    out = stream_pull(f)
+    assert out[q, 3, 3, 3] == 1.0
+    assert out[q].sum() == 1.0
+
+
+def test_stream_is_periodic(rng):
+    shape = (4, 4, 4)
+    f = np.zeros((19,) + shape)
+    q = 2  # c = (-1, 0, 0)
+    f[q, 0, 1, 1] = 1.0
+    out = stream_pull(f)
+    assert out[q, 3, 1, 1] == 1.0
+
+
+def test_stream_conserves_mass(rng):
+    f = rng.random((19, 5, 4, 3))
+    out = stream_pull(f)
+    assert np.isclose(out.sum(), f.sum())
+    for q in range(19):
+        assert np.isclose(out[q].sum(), f[q].sum())
+
+
+def test_stream_rejects_in_place():
+    f = np.zeros((19, 3, 3, 3))
+    with pytest.raises(ValueError):
+        stream_pull(f, out=f)
+
+
+def test_stream_roundtrip_with_opposites(rng):
+    """Streaming in direction i then opp(i) returns the original field."""
+    f = rng.random((19, 5, 5, 5))
+    once = stream_pull(f)
+    swapped = once[D3Q19.opp]
+    twice = stream_pull(swapped)
+    assert np.allclose(twice[D3Q19.opp], f)
+
+
+def test_upwind_masks_flag_fluid_next_to_solid():
+    shape = (5, 5, 5)
+    solid = np.zeros(shape, dtype=bool)
+    solid[0, :, :] = True
+    masks = upwind_solid_masks(solid)
+    # Direction (1,0,0): pull source x-1; fluid at x=1 pulls from solid x=0.
+    q = int(np.nonzero((D3Q19.c == (1, 0, 0)).all(axis=1))[0][0])
+    assert masks[q, 1].all()
+    assert not masks[q, 2:].any()
+
+
+def test_upwind_masks_exclude_solid_nodes():
+    shape = (4, 4, 4)
+    solid = np.zeros(shape, dtype=bool)
+    solid[1, 1, 1] = True
+    masks = upwind_solid_masks(solid)
+    assert not masks[:, 1, 1, 1].any()
+
+
+def test_upwind_masks_rest_direction_empty():
+    solid = np.ones((3, 3, 3), dtype=bool)
+    solid[1, 1, 1] = False
+    masks = upwind_solid_masks(solid)
+    assert not masks[0].any()
+
+
+def test_upwind_masks_fully_enclosed_node():
+    """A fluid node surrounded by solid is flagged in all 18 directions."""
+    solid = np.ones((3, 3, 3), dtype=bool)
+    solid[1, 1, 1] = False
+    masks = upwind_solid_masks(solid)
+    assert masks[1:, 1, 1, 1].all()

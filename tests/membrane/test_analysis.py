@@ -1,0 +1,81 @@
+"""Cell shape metrics."""
+
+import numpy as np
+import pytest
+
+from repro.membrane import icosphere, make_rbc
+from repro.membrane.analysis import (
+    asphericity,
+    deformation_report,
+    elongation_index,
+    gyration_tensor,
+    principal_semi_axes,
+    taylor_deformation,
+)
+
+
+def test_sphere_metrics():
+    verts, _ = icosphere(2, radius=3e-6)
+    assert taylor_deformation(verts) < 1e-6
+    assert np.isclose(elongation_index(verts), 1.0, atol=1e-6)
+    assert asphericity(verts) < 1e-10
+
+
+def test_sphere_semi_axes_match_radius():
+    verts, _ = icosphere(3, radius=2.5e-6)
+    a = principal_semi_axes(verts)
+    assert np.allclose(a, 2.5e-6, rtol=1e-3)
+
+
+def test_stretched_sphere_taylor():
+    verts, _ = icosphere(2, radius=1.0)
+    stretched = verts * np.array([2.0, 1.0, 1.0])
+    D = taylor_deformation(stretched)
+    assert np.isclose(D, (2.0 - 1.0) / (2.0 + 1.0), rtol=0.02)
+    assert np.isclose(elongation_index(stretched), 2.0, rtol=0.02)
+
+
+def test_rbc_is_oblate():
+    """The biconcave discocyte is far from spherical."""
+    c = make_rbc(np.zeros(3), global_id=0, subdivisions=2)
+    rel = c.vertices - c.centroid()
+    assert taylor_deformation(rel) > 0.3
+    assert asphericity(rel) > 0.02
+
+
+def test_gyration_translation_invariant(rng):
+    verts, _ = icosphere(1)
+    g0 = gyration_tensor(verts)
+    g1 = gyration_tensor(verts + np.array([5.0, -3.0, 2.0]))
+    assert np.allclose(g0, g1)
+
+
+def test_gyration_rotation_equivariance(rng):
+    from repro.membrane.cell import random_rotation
+
+    verts, _ = icosphere(1)
+    stretched = verts * np.array([1.5, 1.0, 0.7])
+    R = random_rotation(rng)
+    a0 = principal_semi_axes(stretched)
+    a1 = principal_semi_axes(stretched @ R.T)
+    assert np.allclose(a0, a1, rtol=1e-10)
+
+
+def test_deformation_report_at_rest():
+    c = make_rbc(np.zeros(3), global_id=0, subdivisions=2)
+    rep = deformation_report(c)
+    assert np.isclose(rep["taylor"], rep["taylor_reference"], rtol=1e-9)
+    assert rep["skalak_energy"] < 1e-28
+    assert rep["bending_energy"] < 1e-28
+    assert abs(rep["volume_strain"]) < 1e-9
+    assert abs(rep["area_strain"]) < 1e-9
+
+
+def test_deformation_report_detects_stretch():
+    c = make_rbc(np.zeros(3), global_id=0, subdivisions=2)
+    center = c.centroid()
+    c.vertices[:] = center + (c.vertices - center) * np.array([1.2, 1.0, 1.0])
+    rep = deformation_report(c)
+    assert rep["skalak_energy"] > 0
+    assert rep["area_strain"] > 0
+    assert rep["taylor"] != pytest.approx(rep["taylor_reference"], rel=1e-3)

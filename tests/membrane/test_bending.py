@@ -1,0 +1,135 @@
+"""Dihedral bending forces (Eq. 3 surrogate): gradients and invariances."""
+
+import numpy as np
+
+from repro.membrane import (
+    bending_energy,
+    bending_forces,
+    dihedral_angles,
+    icosphere,
+)
+from repro.membrane.bending import dihedral_k_from_helfrich
+from repro.membrane.cell import random_rotation
+
+KB = 1e-18
+
+
+def _deformed(ref, rng, amp=0.05):
+    return ref.vertices * (1.0 + amp * rng.standard_normal(ref.vertices.shape))
+
+
+def test_zero_force_at_reference(rbc_reference):
+    ref = rbc_reference
+    f = bending_forces(ref.vertices, ref.quads, ref.theta0, KB)
+    assert np.abs(f).max() == 0.0
+
+
+def test_sphere_dihedral_angles_uniform_sign():
+    """A convex surface has dihedral angles of one sign everywhere."""
+    verts, faces = icosphere(2)
+    from repro.membrane import bending_pairs
+
+    quads = bending_pairs(faces)
+    theta = dihedral_angles(verts, quads)
+    assert np.all(theta > 0) or np.all(theta < 0)
+
+
+def test_flat_pair_angle_zero():
+    verts = np.array(
+        [[0.0, 0, 0], [1.0, 0, 0], [0.5, 1.0, 0], [0.5, -1.0, 0]]
+    )
+    quads = np.array([[0, 1, 2, 3]])
+    assert np.isclose(dihedral_angles(verts, quads)[0], 0.0)
+
+
+def test_bent_pair_angle_sign_flips_with_fold_direction():
+    verts_up = np.array(
+        [[0.0, 0, 0], [1.0, 0, 0], [0.5, 1.0, 0], [0.5, -1.0, 0.5]]
+    )
+    verts_dn = verts_up.copy()
+    verts_dn[3, 2] = -0.5
+    quads = np.array([[0, 1, 2, 3]])
+    a_up = dihedral_angles(verts_up, quads)[0]
+    a_dn = dihedral_angles(verts_dn, quads)[0]
+    assert a_up * a_dn < 0
+    assert np.isclose(a_up, -a_dn)
+
+
+def test_forces_are_exact_energy_gradient(coarse_sphere_reference, rng):
+    ref = coarse_sphere_reference
+    v = _deformed(ref, rng)
+    f = bending_forces(v, ref.quads, ref.theta0, KB)
+    eps = 1e-12
+    for i, d in ((0, 0), (11, 1), (80, 2)):
+        vp = v.copy()
+        vp[i, d] += eps
+        vm = v.copy()
+        vm[i, d] -= eps
+        fd = -(
+            bending_energy(vp, ref.quads, ref.theta0, KB)
+            - bending_energy(vm, ref.quads, ref.theta0, KB)
+        ) / (2 * eps)
+        assert np.isclose(f[i, d], fd, rtol=1e-4, atol=1e-20)
+
+
+def test_forces_sum_to_zero(coarse_sphere_reference, rng):
+    ref = coarse_sphere_reference
+    v = _deformed(ref, rng)
+    f = bending_forces(v, ref.quads, ref.theta0, KB)
+    assert np.abs(f.sum(axis=0)).max() < 1e-18
+
+
+def test_forces_carry_no_net_torque(coarse_sphere_reference, rng):
+    ref = coarse_sphere_reference
+    v = _deformed(ref, rng)
+    f = bending_forces(v, ref.quads, ref.theta0, KB)
+    torque = np.cross(v, f).sum(axis=0)
+    assert np.abs(torque).max() < 1e-22
+
+
+def test_rigid_motion_produces_no_force(coarse_sphere_reference, rng):
+    ref = coarse_sphere_reference
+    R = random_rotation(rng)
+    v = ref.vertices @ R.T + np.array([1e-5, 0, -1e-5])
+    f = bending_forces(v, ref.quads, ref.theta0, KB)
+    assert np.abs(f).max() < 1e-22
+
+
+def test_energy_rotation_invariant(coarse_sphere_reference, rng):
+    ref = coarse_sphere_reference
+    v = _deformed(ref, rng)
+    R = random_rotation(rng)
+    e0 = bending_energy(v, ref.quads, ref.theta0, KB)
+    e1 = bending_energy(v @ R.T, ref.quads, ref.theta0, KB)
+    assert np.isclose(e0, e1, rtol=1e-10)
+
+
+def test_energy_quadratic_in_angle_deviation(coarse_sphere_reference):
+    """Doubling k_bend doubles the energy for the same shape."""
+    ref = coarse_sphere_reference
+    v = ref.vertices * np.array([1.1, 1.0, 0.9])  # squash
+    e1 = bending_energy(v, ref.quads, ref.theta0, KB)
+    e2 = bending_energy(v, ref.quads, ref.theta0, 2 * KB)
+    assert np.isclose(e2, 2 * e1)
+    assert e1 > 0
+
+
+def test_shape_memory_prefers_reference(coarse_sphere_reference, rng):
+    """Energy of any perturbed shape exceeds the reference energy (0)."""
+    ref = coarse_sphere_reference
+    for _ in range(3):
+        v = _deformed(ref, rng, amp=0.03)
+        assert bending_energy(v, ref.quads, ref.theta0, KB) > 0
+
+
+def test_helfrich_mapping():
+    kb = dihedral_k_from_helfrich(2e-19)
+    assert np.isclose(kb, 2 * 2e-19 / np.sqrt(3.0))
+
+
+def test_batched_matches_loop(coarse_sphere_reference, rng):
+    ref = coarse_sphere_reference
+    batch = np.stack([_deformed(ref, rng), ref.vertices])
+    fb = bending_forces(batch, ref.quads, ref.theta0, KB)
+    assert np.allclose(fb[0], bending_forces(batch[0], ref.quads, ref.theta0, KB))
+    assert np.allclose(fb[1], 0.0)

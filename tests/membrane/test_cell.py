@@ -1,0 +1,117 @@
+"""Cell objects: factories, rigid motions, copies, cached references."""
+
+import numpy as np
+import pytest
+
+from repro.constants import CTC_SHEAR_MODULUS, RBC_SHEAR_MODULUS
+from repro.membrane import Cell, CellKind, make_ctc, make_rbc
+from repro.membrane.cell import random_rotation, reference_for
+
+
+def test_make_rbc_at_center():
+    c = make_rbc(np.array([1e-5, 2e-5, 3e-5]), global_id=0)
+    assert np.allclose(c.centroid(), [1e-5, 2e-5, 3e-5], atol=1e-12)
+    assert c.kind is CellKind.RBC
+    assert c.shear_modulus == RBC_SHEAR_MODULUS
+
+
+def test_make_ctc_stiffer_than_rbc():
+    ctc = make_ctc(np.zeros(3), global_id=1)
+    assert ctc.shear_modulus == CTC_SHEAR_MODULUS
+    assert ctc.shear_modulus / RBC_SHEAR_MODULUS == pytest.approx(20.0)
+
+
+def test_reference_cached_and_shared():
+    a = make_rbc(np.zeros(3), global_id=0)
+    b = make_rbc(np.ones(3) * 1e-5, global_id=1)
+    assert a.reference is b.reference
+
+
+def test_distinct_parameters_distinct_references():
+    a = make_rbc(np.zeros(3), global_id=0, subdivisions=2)
+    b = make_rbc(np.zeros(3), global_id=1, subdivisions=3)
+    assert a.reference is not b.reference
+    assert len(a.vertices) != len(b.vertices)
+
+
+def test_volume_matches_reference():
+    c = make_rbc(np.array([5e-6, 0, 0]), global_id=0)
+    assert np.isclose(c.volume(), c.reference.volume0, rtol=1e-10)
+
+
+def test_translate():
+    c = make_rbc(np.zeros(3), global_id=0)
+    c.translate(np.array([1e-6, 0, 0]))
+    assert np.allclose(c.centroid(), [1e-6, 0, 0], atol=1e-12)
+
+
+def test_rotate_preserves_shape():
+    c = make_rbc(np.array([2e-6, 0, 0]), global_id=0)
+    v0, a0 = c.volume(), c.area()
+    c.rotate(random_rotation(np.random.default_rng(0)))
+    assert np.isclose(c.volume(), v0)
+    assert np.isclose(c.area(), a0)
+    assert np.allclose(c.centroid(), [2e-6, 0, 0], atol=1e-12)
+
+
+def test_oriented_placement():
+    R = random_rotation(np.random.default_rng(1))
+    c = make_rbc(np.zeros(3), global_id=0, rotation=R)
+    # Same point set as rotating the shared reference shape.
+    assert np.allclose(c.vertices, c.reference.vertices @ R.T, atol=1e-20)
+
+
+def test_copy_is_deep():
+    c = make_rbc(np.zeros(3), global_id=0)
+    c2 = c.copy(new_id=7)
+    c2.translate(np.array([1e-6, 0, 0]))
+    assert np.allclose(c.centroid(), 0.0, atol=1e-12)
+    assert c2.global_id == 7
+    assert c2.reference is c.reference
+
+
+def test_copy_preserves_deformation():
+    c = make_rbc(np.zeros(3), global_id=0)
+    c.vertices *= 1.05  # deform
+    c2 = c.copy(new_id=1)
+    assert np.allclose(c2.vertices, c.vertices)
+
+
+def test_forces_zero_at_rest_shape():
+    c = make_rbc(np.array([1e-5, 1e-5, 1e-5]), global_id=0)
+    f = c.forces()
+    assert np.abs(f).max() < 1e-15  # N; membrane scale is ~1e-12
+
+
+def test_forces_restore_inflation():
+    c = make_ctc(np.zeros(3), global_id=0, subdivisions=2)
+    center = c.centroid()
+    c.vertices = center + (c.vertices - center) * 1.05
+    f = c.forces()
+    radial = np.einsum("va,va->v", f, c.vertices - center)
+    assert radial.mean() < 0
+
+
+def test_bounding_box():
+    c = make_rbc(np.array([1e-5, 0, 0]), global_id=0)
+    lo, hi = c.bounding_box()
+    assert np.all(lo < c.centroid())
+    assert np.all(hi > c.centroid())
+
+
+def test_vertex_shape_validation(rbc_reference):
+    with pytest.raises(ValueError):
+        Cell(
+            kind=CellKind.RBC,
+            reference=rbc_reference,
+            vertices=np.zeros((10, 3)),
+            global_id=0,
+            shear_modulus=1e-6,
+        )
+
+
+def test_random_rotation_is_orthonormal(rng):
+    for _ in range(5):
+        R = random_rotation(rng)
+        assert np.allclose(R @ R.T, np.eye(3), atol=1e-12)
+        assert np.isclose(np.linalg.det(R), 1.0)

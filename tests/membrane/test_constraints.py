@@ -1,0 +1,116 @@
+"""Area/volume measures, gradients and penalty forces."""
+
+import numpy as np
+
+from repro.membrane import (
+    area_volume_forces,
+    face_areas,
+    icosphere,
+    mesh_area,
+    mesh_volume,
+)
+from repro.membrane.constraints import area_gradient, volume_gradient
+
+
+def test_unit_tetrahedron_volume():
+    verts = np.array([[0.0, 0, 0], [1, 0, 0], [0, 1, 0], [0, 0, 1]])
+    faces = np.array([[0, 2, 1], [0, 1, 3], [0, 3, 2], [1, 2, 3]])
+    assert np.isclose(mesh_volume(verts, faces), -1.0 / 6.0) or np.isclose(
+        mesh_volume(verts, faces), 1.0 / 6.0
+    )
+    assert np.isclose(abs(mesh_volume(verts, faces)), 1.0 / 6.0)
+
+
+def test_volume_translation_invariant_for_closed_mesh(rng):
+    verts, faces = icosphere(1)
+    v0 = mesh_volume(verts, faces)
+    v1 = mesh_volume(verts + np.array([3.0, -2.0, 7.0]), faces)
+    assert np.isclose(v0, v1)
+
+
+def test_face_areas_equilateral():
+    verts = np.array([[0.0, 0, 0], [1.0, 0, 0], [0.5, np.sqrt(3) / 2, 0]])
+    faces = np.array([[0, 1, 2]])
+    assert np.isclose(face_areas(verts, faces)[0], np.sqrt(3) / 4)
+
+
+def test_area_gradient_matches_fd(rng):
+    verts, faces = icosphere(1)
+    verts = verts * (1 + 0.05 * rng.standard_normal(verts.shape))
+    g = area_gradient(verts, faces)
+    eps = 1e-8
+    for i, d in ((0, 0), (20, 2)):
+        vp = verts.copy()
+        vp[i, d] += eps
+        vm = verts.copy()
+        vm[i, d] -= eps
+        fd = (mesh_area(vp, faces) - mesh_area(vm, faces)) / (2 * eps)
+        assert np.isclose(g[i, d], fd, rtol=1e-5)
+
+
+def test_volume_gradient_matches_fd(rng):
+    verts, faces = icosphere(1)
+    verts = verts * (1 + 0.05 * rng.standard_normal(verts.shape))
+    g = volume_gradient(verts, faces)
+    eps = 1e-8
+    for i, d in ((3, 1), (30, 0)):
+        vp = verts.copy()
+        vp[i, d] += eps
+        vm = verts.copy()
+        vm[i, d] -= eps
+        fd = (mesh_volume(vp, faces) - mesh_volume(vm, faces)) / (2 * eps)
+        assert np.isclose(g[i, d], fd, rtol=1e-5)
+
+
+def test_penalty_forces_zero_at_targets():
+    verts, faces = icosphere(2)
+    A0 = float(mesh_area(verts, faces))
+    V0 = float(mesh_volume(verts, faces))
+    f = area_volume_forces(verts, faces, A0, V0, k_area=1e-5, k_volume=1.0)
+    assert np.abs(f).max() < 1e-18
+
+
+def test_inflated_mesh_pushed_inward():
+    verts, faces = icosphere(2)
+    A0 = float(mesh_area(verts, faces))
+    V0 = float(mesh_volume(verts, faces))
+    f = area_volume_forces(verts * 1.1, faces, A0, V0, k_area=1e-5, k_volume=1.0)
+    radial = np.einsum("va,va->v", f, verts / np.linalg.norm(verts, axis=1, keepdims=True))
+    assert np.all(radial < 0)
+
+
+def test_deflated_mesh_pushed_outward():
+    verts, faces = icosphere(2)
+    A0 = float(mesh_area(verts, faces))
+    V0 = float(mesh_volume(verts, faces))
+    f = area_volume_forces(verts * 0.9, faces, A0, V0, k_area=1e-5, k_volume=1.0)
+    radial = np.einsum("va,va->v", f, verts / np.linalg.norm(verts, axis=1, keepdims=True))
+    assert np.all(radial > 0)
+
+
+def test_individual_penalties_can_be_disabled():
+    verts, faces = icosphere(1)
+    A0 = float(mesh_area(verts, faces))
+    V0 = float(mesh_volume(verts, faces))
+    only_area = area_volume_forces(verts * 1.1, faces, A0, V0, 1e-5, 0.0)
+    only_vol = area_volume_forces(verts * 1.1, faces, A0, V0, 0.0, 1.0)
+    both = area_volume_forces(verts * 1.1, faces, A0, V0, 1e-5, 1.0)
+    assert np.allclose(only_area + only_vol, both)
+
+
+def test_penalty_forces_sum_to_zero(rng):
+    verts, faces = icosphere(1)
+    A0 = float(mesh_area(verts, faces))
+    V0 = float(mesh_volume(verts, faces))
+    v = verts * (1 + 0.05 * rng.standard_normal(verts.shape))
+    f = area_volume_forces(v, faces, A0, V0, 1e-5, 1.0)
+    assert np.abs(f.sum(axis=0)).max() < 1e-12 * np.abs(f).max()
+
+
+def test_batched_measures(rng):
+    verts, faces = icosphere(1)
+    batch = np.stack([verts, 2.0 * verts])
+    areas = mesh_area(batch, faces)
+    vols = mesh_volume(batch, faces)
+    assert np.isclose(areas[1], 4.0 * areas[0])
+    assert np.isclose(vols[1], 8.0 * vols[0])

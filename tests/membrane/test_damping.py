@@ -1,0 +1,74 @@
+"""Membrane edge-dashpot damping."""
+
+import numpy as np
+import pytest
+
+from repro.membrane import icosphere, unique_edges
+from repro.membrane.damping import dissipation_rate, edge_damping_forces
+
+GAMMA = 1e-7
+
+
+def _mesh():
+    verts, faces = icosphere(1, radius=2e-6)
+    return verts, unique_edges(faces)
+
+
+def test_zero_for_rigid_translation():
+    verts, edges = _mesh()
+    vel = np.broadcast_to(np.array([1.0, -2.0, 0.5]) * 1e-3, verts.shape)
+    f = edge_damping_forces(verts, vel, edges, GAMMA)
+    assert np.abs(f).max() < 1e-20
+
+
+def test_zero_for_rigid_rotation():
+    """Rotation changes no edge length: dashpots see no axial rate."""
+    verts, edges = _mesh()
+    omega = np.array([0.0, 0.0, 100.0])
+    vel = np.cross(omega, verts)
+    f = edge_damping_forces(verts, vel, edges, GAMMA)
+    assert np.abs(f).max() < 1e-15 * GAMMA * np.abs(vel).max() / 1e-6 + 1e-20
+
+
+def test_opposes_expansion():
+    verts, edges = _mesh()
+    vel = verts * 1e3  # radially expanding
+    f = edge_damping_forces(verts, vel, edges, GAMMA)
+    radial = np.einsum("va,va->v", f, verts)
+    assert np.all(radial < 0)
+
+
+def test_momentum_free(rng):
+    verts, edges = _mesh()
+    vel = 1e-3 * rng.standard_normal(verts.shape)
+    f = edge_damping_forces(verts, vel, edges, GAMMA)
+    assert np.abs(f.sum(axis=0)).max() < 1e-12 * np.abs(f).max()
+
+
+def test_torque_free(rng):
+    verts, edges = _mesh()
+    vel = 1e-3 * rng.standard_normal(verts.shape)
+    f = edge_damping_forces(verts, vel, edges, GAMMA)
+    torque = np.cross(verts, f).sum(axis=0)
+    assert np.abs(torque).max() < 1e-12 * (np.abs(f).max() * 2e-6)
+
+
+def test_dissipation_nonpositive(rng):
+    verts, edges = _mesh()
+    for _ in range(5):
+        vel = 1e-3 * rng.standard_normal(verts.shape)
+        assert dissipation_rate(verts, vel, edges, GAMMA) <= 1e-25
+
+
+def test_linear_in_gamma(rng):
+    verts, edges = _mesh()
+    vel = 1e-3 * rng.standard_normal(verts.shape)
+    f1 = edge_damping_forces(verts, vel, edges, GAMMA)
+    f2 = edge_damping_forces(verts, vel, edges, 2 * GAMMA)
+    assert np.allclose(f2, 2 * f1)
+
+
+def test_shape_validation():
+    verts, edges = _mesh()
+    with pytest.raises(ValueError):
+        edge_damping_forces(verts, verts[:5], edges, GAMMA)

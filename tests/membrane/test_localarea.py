@@ -1,0 +1,62 @@
+"""Per-face local area constraint."""
+
+import numpy as np
+
+from repro.membrane import face_areas, icosphere
+from repro.membrane.localarea import local_area_energy, local_area_forces
+
+K = 1e-5
+
+
+def _setup(rng=None, amp=0.0):
+    verts, faces = icosphere(1, radius=2e-6)
+    A0 = face_areas(verts, faces)
+    if rng is not None and amp:
+        verts = verts * (1 + amp * rng.standard_normal(verts.shape))
+    return verts, faces, A0
+
+
+def test_zero_at_reference():
+    verts, faces, A0 = _setup()
+    assert np.isclose(local_area_energy(verts, faces, A0, K), 0.0)
+    assert np.abs(local_area_forces(verts, faces, A0, K)).max() < 1e-25
+
+
+def test_energy_positive_when_deformed(rng):
+    verts, faces, A0 = _setup(rng, amp=0.05)
+    assert local_area_energy(verts, faces, A0, K) > 0
+
+
+def test_forces_are_exact_gradient(rng):
+    verts, faces, A0 = _setup(rng, amp=0.05)
+    f = local_area_forces(verts, faces, A0, K)
+    eps = 1e-13
+    for i, d in ((0, 0), (17, 2)):
+        vp = verts.copy(); vp[i, d] += eps
+        vm = verts.copy(); vm[i, d] -= eps
+        fd = -(local_area_energy(vp, faces, A0, K) - local_area_energy(vm, faces, A0, K)) / (2 * eps)
+        assert np.isclose(f[i, d], fd, rtol=1e-4)
+
+
+def test_forces_momentum_free(rng):
+    verts, faces, A0 = _setup(rng, amp=0.05)
+    f = local_area_forces(verts, faces, A0, K)
+    assert np.abs(f.sum(axis=0)).max() < 1e-12 * np.abs(f).max()
+
+
+def test_restoring_direction():
+    """Uniformly inflated mesh: every face too large -> inward forces."""
+    verts, faces, A0 = _setup()
+    f = local_area_forces(verts * 1.1, faces, A0, K)
+    radial = np.einsum("va,va->v", f, verts / np.linalg.norm(verts, axis=1, keepdims=True))
+    assert np.all(radial < 0)
+
+
+def test_batched(rng):
+    verts, faces, A0 = _setup()
+    batch = np.stack([verts, verts * 1.05])
+    f = local_area_forces(batch, faces, A0, K)
+    assert np.allclose(f[0], 0.0, atol=1e-25)
+    assert np.abs(f[1]).max() > 0
+    e = local_area_energy(batch, faces, A0, K)
+    assert e.shape == (2,)

@@ -1,0 +1,110 @@
+"""Mesh generation: icosphere refinement, biconcave RBC geometry."""
+
+import numpy as np
+import pytest
+
+from repro.constants import RBC_MESH_ELEMENTS, RBC_MESH_VERTICES
+from repro.membrane import (
+    biconcave_rbc,
+    euler_characteristic,
+    icosphere,
+    mesh_area,
+    mesh_volume,
+    sphere_cell,
+)
+
+
+@pytest.mark.parametrize("level,nv,nf", [(0, 12, 20), (1, 42, 80), (2, 162, 320), (3, 642, 1280)])
+def test_icosphere_counts(level, nv, nf):
+    verts, faces = icosphere(level)
+    assert verts.shape == (nv, 3)
+    assert faces.shape == (nf, 3)
+
+
+def test_level3_matches_paper_mesh():
+    """Section 3.6: 3 subdivisions -> 642 vertices, 1280 elements."""
+    verts, faces = icosphere(3)
+    assert len(verts) == RBC_MESH_VERTICES
+    assert len(faces) == RBC_MESH_ELEMENTS
+
+
+@pytest.mark.parametrize("level", [0, 1, 2, 3])
+def test_icosphere_closed_genus_zero(level):
+    verts, faces = icosphere(level)
+    assert euler_characteristic(len(verts), faces) == 2
+
+
+def test_icosphere_vertices_on_sphere():
+    verts, _ = icosphere(2, radius=2.5)
+    assert np.allclose(np.linalg.norm(verts, axis=1), 2.5)
+
+
+def test_icosphere_outward_orientation():
+    """Signed volume positive -> faces are CCW viewed from outside."""
+    verts, faces = icosphere(2)
+    assert mesh_volume(verts, faces) > 0
+
+
+def test_icosphere_volume_approaches_analytic():
+    verts, faces = icosphere(3, radius=1.0)
+    vol = float(mesh_volume(verts, faces))
+    assert abs(vol - 4.0 * np.pi / 3.0) / (4.0 * np.pi / 3.0) < 0.01
+
+
+def test_icosphere_area_approaches_analytic():
+    verts, faces = icosphere(3, radius=1.0)
+    area = float(mesh_area(verts, faces))
+    assert abs(area - 4.0 * np.pi) / (4.0 * np.pi) < 0.01
+
+
+def test_icosphere_rejects_negative_subdivision():
+    with pytest.raises(ValueError):
+        icosphere(-1)
+
+
+def test_sphere_cell_diameter():
+    verts, _ = sphere_cell(diameter=15e-6, subdivisions=2)
+    d = 2 * np.linalg.norm(verts, axis=1).max()
+    assert np.isclose(d, 15e-6)
+
+
+def test_rbc_volume_physiological():
+    """Healthy RBC encloses ~94 fL (Section 3.6 memory model assumes it)."""
+    verts, faces = biconcave_rbc()
+    vol = float(mesh_volume(verts, faces))
+    assert 85e-18 < vol < 100e-18
+
+
+def test_rbc_area_physiological():
+    """Healthy RBC surface area ~135 um^2."""
+    verts, faces = biconcave_rbc()
+    area = float(mesh_area(verts, faces))
+    assert 125e-12 < area < 145e-12
+
+
+def test_rbc_diameter_matches_request():
+    verts, _ = biconcave_rbc(diameter=7.8e-6)
+    width = verts[:, 0].max() - verts[:, 0].min()
+    assert np.isclose(width, 7.8e-6, rtol=1e-6)
+
+
+def test_rbc_dimple_thinner_than_rim():
+    """Biconcave: center thickness < maximum thickness."""
+    verts, _ = biconcave_rbc()
+    r = np.hypot(verts[:, 0], verts[:, 1])
+    center = np.abs(verts[r < 0.8e-6][:, 2]).max()
+    rim = np.abs(verts[:, 2]).max()
+    assert center < 0.7 * rim
+
+
+def test_rbc_closed_surface():
+    verts, faces = biconcave_rbc()
+    assert euler_characteristic(len(verts), faces) == 2
+
+
+def test_rbc_axisymmetric():
+    """The discocyte is symmetric under z -> -z."""
+    verts, _ = biconcave_rbc()
+    top = np.sort(verts[verts[:, 2] > 1e-9][:, 2])
+    bottom = np.sort(-verts[verts[:, 2] < -1e-9][:, 2])
+    assert np.allclose(top, bottom, atol=1e-12)

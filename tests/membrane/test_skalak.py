@@ -1,0 +1,130 @@
+"""Skalak in-plane FEM forces (Eq. 2): exactness and invariances."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.membrane import ReferenceState, icosphere, skalak_energy, skalak_forces
+from repro.membrane.cell import random_rotation
+
+GS, C = 5e-6, 100.0
+
+
+def _deformed(ref, rng, amp=0.05):
+    return ref.vertices * (1.0 + amp * rng.standard_normal(ref.vertices.shape))
+
+
+def test_zero_force_at_reference(rbc_reference):
+    f = skalak_forces(rbc_reference.vertices, rbc_reference, GS, C)
+    scale = GS * 1e-6  # force scale ~ Gs * length
+    assert np.abs(f).max() < 1e-12 * scale
+
+
+def test_zero_energy_at_reference(rbc_reference):
+    assert abs(skalak_energy(rbc_reference.vertices, rbc_reference, GS, C)) < 1e-30
+
+
+def test_energy_positive_when_deformed(coarse_sphere_reference, rng):
+    v = _deformed(coarse_sphere_reference, rng)
+    assert skalak_energy(v, coarse_sphere_reference, GS, C) > 0
+
+
+def test_forces_are_exact_energy_gradient(coarse_sphere_reference, rng):
+    ref = coarse_sphere_reference
+    v = _deformed(ref, rng)
+    f = skalak_forces(v, ref, GS, C)
+    eps = 1e-12
+    for i, d in ((0, 0), (7, 1), (100, 2)):
+        vp = v.copy()
+        vp[i, d] += eps
+        vm = v.copy()
+        vm[i, d] -= eps
+        fd = -(skalak_energy(vp, ref, GS, C) - skalak_energy(vm, ref, GS, C)) / (2 * eps)
+        assert np.isclose(f[i, d], fd, rtol=1e-5)
+
+
+def test_forces_sum_to_zero(coarse_sphere_reference, rng):
+    """Internal elastic forces carry no net force."""
+    v = _deformed(coarse_sphere_reference, rng)
+    f = skalak_forces(v, coarse_sphere_reference, GS, C)
+    assert np.abs(f.sum(axis=0)).max() < 1e-18
+
+
+def test_forces_carry_no_net_torque(coarse_sphere_reference, rng):
+    v = _deformed(coarse_sphere_reference, rng)
+    f = skalak_forces(v, coarse_sphere_reference, GS, C)
+    torque = np.cross(v, f).sum(axis=0)
+    assert np.abs(torque).max() < 1e-22
+
+
+def test_translation_invariance(coarse_sphere_reference, rng):
+    ref = coarse_sphere_reference
+    v = _deformed(ref, rng)
+    f0 = skalak_forces(v, ref, GS, C)
+    f1 = skalak_forces(v + np.array([1e-5, -2e-5, 3e-5]), ref, GS, C)
+    assert np.allclose(f0, f1)
+
+
+def test_rotation_equivariance(coarse_sphere_reference, rng):
+    """Rotating the shape rotates the forces (frame indifference)."""
+    ref = coarse_sphere_reference
+    v = _deformed(ref, rng)
+    R = random_rotation(rng)
+    f0 = skalak_forces(v, ref, GS, C)
+    f1 = skalak_forces(v @ R.T, ref, GS, C)
+    assert np.allclose(f1, f0 @ R.T, atol=1e-18)
+
+
+def test_energy_rotation_invariant(coarse_sphere_reference, rng):
+    ref = coarse_sphere_reference
+    v = _deformed(ref, rng)
+    R = random_rotation(rng)
+    e0 = skalak_energy(v, ref, GS, C)
+    e1 = skalak_energy(v @ R.T, ref, GS, C)
+    assert np.isclose(e0, e1, rtol=1e-10)
+
+
+def test_rigid_rotation_produces_no_force(coarse_sphere_reference, rng):
+    ref = coarse_sphere_reference
+    R = random_rotation(rng)
+    f = skalak_forces(ref.vertices @ R.T, ref, GS, C)
+    assert np.abs(f).max() < 1e-20
+
+
+def test_uniform_inflation_force_is_restoring(coarse_sphere_reference):
+    """Inflated sphere: Skalak forces point inward (negative radial)."""
+    ref = coarse_sphere_reference
+    v = ref.vertices * 1.05
+    f = skalak_forces(v, ref, GS, C)
+    radial = np.einsum("va,va->v", f, v / np.linalg.norm(v, axis=1, keepdims=True))
+    assert np.all(radial < 0)
+
+
+def test_force_scales_linearly_with_gs(coarse_sphere_reference, rng):
+    ref = coarse_sphere_reference
+    v = _deformed(ref, rng)
+    f1 = skalak_forces(v, ref, GS, C)
+    f2 = skalak_forces(v, ref, 2 * GS, C)
+    assert np.allclose(f2, 2 * f1)
+
+
+def test_batched_matches_loop(coarse_sphere_reference, rng):
+    ref = coarse_sphere_reference
+    batch = np.stack([_deformed(ref, rng), _deformed(ref, rng), ref.vertices])
+    fb = skalak_forces(batch, ref, GS, C)
+    for b in range(3):
+        assert np.allclose(fb[b], skalak_forces(batch[b], ref, GS, C))
+
+
+@settings(max_examples=15, deadline=None)
+@given(scale=st.floats(0.8, 1.25))
+def test_isotropic_scaling_energy_matches_theory(scale):
+    """Uniform in-plane stretch by s: I1 = 2(s^2-1), I2 = s^4-1 per face."""
+    verts, faces = icosphere(1, radius=1e-6)
+    ref = ReferenceState.from_mesh(verts, faces)
+    energy = skalak_energy(ref.vertices * scale, ref, GS, C)
+    I1 = 2.0 * (scale**2 - 1.0)
+    I2 = scale**4 - 1.0
+    w = (GS / 4.0) * (I1**2 + 2 * I1 - 2 * I2 + C * I2**2)
+    assert np.isclose(energy, w * ref.area0, rtol=1e-10)

@@ -1,0 +1,85 @@
+"""Halo exchange correctness and accounting."""
+
+import numpy as np
+
+from repro.parallel import BlockDecomposition, HaloAccountant
+
+
+def _padded_locals(decomp, fill_rank_id=True):
+    locals_ = []
+    for r in range(decomp.n_tasks):
+        lx, ly, lz = decomp.local_shape(r)
+        arr = np.zeros((1, lx + 2, ly + 2, lz + 2))
+        if fill_rank_id:
+            arr[:, 1:-1, 1:-1, 1:-1] = float(r + 1)
+        locals_.append(arr)
+    return locals_
+
+
+def test_face_halos_carry_neighbor_values():
+    d = BlockDecomposition((8, 4, 4), 2)  # split along x
+    h = HaloAccountant(d)
+    locals_ = _padded_locals(d)
+    h.exchange(locals_)
+    # Rank 0's high-x halo should hold rank 1's value and vice versa.
+    assert np.all(locals_[0][0, -1, 1:-1, 1:-1] == 2.0)
+    assert np.all(locals_[1][0, -1, 1:-1, 1:-1] == 1.0)  # periodic wrap
+    assert np.all(locals_[0][0, 0, 1:-1, 1:-1] == 2.0)
+
+
+def test_self_wrap_on_unsplit_axis():
+    d = BlockDecomposition((8, 4, 4), 2)
+    h = HaloAccountant(d)
+    locals_ = _padded_locals(d)
+    h.exchange(locals_)
+    # y axis unsplit: halo wraps to the rank's own data.
+    assert np.all(locals_[0][0, 1:-1, 0, 1:-1] == 1.0)
+    assert np.all(locals_[0][0, 1:-1, -1, 1:-1] == 1.0)
+
+
+def test_edge_halos_filled():
+    d = BlockDecomposition((8, 8, 4), 4)  # 2x2 in x, y
+    h = HaloAccountant(d)
+    locals_ = _padded_locals(d)
+    h.exchange(locals_)
+    # The (+x, +y) edge halo of rank 0 must hold the diagonal neighbor.
+    diag = d.neighbor(0, (1, 1, 0))
+    assert np.all(locals_[0][0, -1, -1, 1:-1] == float(diag + 1))
+
+
+def test_counters_exclude_self_wrap():
+    d = BlockDecomposition((8, 4, 4), 2)
+    h = HaloAccountant(d)
+    locals_ = _padded_locals(d)
+    h.exchange(locals_)
+    # Only x-direction transfers count; pure y/z wraps are local copies.
+    for rank, nbytes in h.counters.by_rank.items():
+        assert nbytes > 0
+    assert h.counters.messages > 0
+    single = BlockDecomposition((8, 4, 4), 1)
+    h1 = HaloAccountant(single)
+    l1 = _padded_locals(single)
+    h1.exchange(l1)
+    assert h1.counters.bytes_sent == 0
+
+
+def test_reset_counters():
+    d = BlockDecomposition((8, 4, 4), 2)
+    h = HaloAccountant(d)
+    h.exchange(_padded_locals(d))
+    assert h.counters.bytes_sent > 0
+    h.reset_counters()
+    assert h.counters.bytes_sent == 0
+    assert h.counters.messages == 0
+
+
+def test_bytes_proportional_to_face_area():
+    small = BlockDecomposition((8, 4, 4), 2)
+    big = BlockDecomposition((8, 8, 8), 2)
+    hs, hb = HaloAccountant(small), HaloAccountant(big)
+    hs.exchange(_padded_locals(small))
+    hb.exchange(_padded_locals(big))
+    # Face payloads grow 4x (4x4 -> 8x8) while edge payloads grow 2x,
+    # so the combined ratio sits between the two.
+    ratio = hb.counters.bytes_sent / hs.counters.bytes_sent
+    assert 2.5 <= ratio <= 4.0

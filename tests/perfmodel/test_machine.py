@@ -1,0 +1,40 @@
+"""Machine specifications."""
+
+import numpy as np
+
+from repro.perfmodel import AWS_P3_16XL, SUMMIT
+
+
+def test_summit_node_shape():
+    """Summit: 2x POWER9 + 6x V100 with 16 GB HBM each, 512 GB DDR."""
+    assert SUMMIT.gpus == 6
+    assert SUMMIT.gpu_memory_each == 16e9
+    assert SUMMIT.cpu_memory == 512e9
+    assert SUMMIT.cpu_cores == 42  # the paper uses 42 tasks/node
+
+
+def test_aws_node_shape():
+    """The Fig. 9 instance: 8 V100s, 48 Xeon cores, 768 GB."""
+    assert AWS_P3_16XL.gpus == 8
+    assert AWS_P3_16XL.cpu_cores == 48
+    assert AWS_P3_16XL.cpu_memory == 768e9
+    assert np.isclose(AWS_P3_16XL.gpu_memory_total, 128e9)
+
+
+def test_usable_memory_fractions():
+    assert 0 < SUMMIT.gpu_memory_usable_fraction < 1
+    assert SUMMIT.gpu_memory_usable() < SUMMIT.gpu_memory_total
+    assert SUMMIT.cpu_memory_usable() < SUMMIT.cpu_memory
+
+
+def test_nvlink_rate_from_paper():
+    """Artifact description: NVLink 'capable of a 25GB/s transfer rate'."""
+    assert SUMMIT.nvlink_bandwidth == 25e9
+
+
+def test_rates_positive():
+    for m in (SUMMIT, AWS_P3_16XL):
+        assert m.cpu_mlups_per_task > 0
+        assert m.gpu_mlups_per_task > m.cpu_mlups_per_task
+        assert m.network_bandwidth > 0
+        assert m.network_latency > 0

@@ -1,0 +1,87 @@
+"""Scaling model vs the paper's Fig. 7 / Fig. 8 shapes."""
+
+import numpy as np
+
+from repro.perfmodel import ScalingModel, strong_scaling_curve, weak_scaling_curve
+
+
+def test_strong_scaling_monotone_speedup():
+    curve = strong_scaling_curve()
+    speedups = [curve[n]["speedup"] for n in sorted(curve)]
+    assert all(b > a for a, b in zip(speedups, speedups[1:]))
+
+
+def test_strong_scaling_paper_band():
+    """Paper: ~6x speedup moving from 32 to 512 nodes."""
+    curve = strong_scaling_curve()
+    s512 = curve[512]["speedup"]
+    assert 5.0 < s512 < 7.0
+
+
+def test_strong_scaling_sublinear():
+    """Speedup falls short of the 16x resource increase (halo breakdown)."""
+    curve = strong_scaling_curve()
+    assert curve[512]["speedup"] < 16.0
+
+
+def test_strong_scaling_comm_fraction_grows():
+    curve = strong_scaling_curve()
+    frac32 = curve[32]["comm"] / curve[32]["total"]
+    frac512 = curve[512]["comm"] / curve[512]["total"]
+    assert frac512 > frac32
+
+
+def test_weak_scaling_paper_band():
+    """Paper: >=90% efficiency for all cases above 8 nodes."""
+    curve = weak_scaling_curve()
+    for n, data in curve.items():
+        if n > 8:
+            assert data["efficiency_vs_baseline"] >= 0.90
+
+
+def test_weak_scaling_small_counts_faster():
+    """Paper: 1-4 node runs are anomalously fast (partial connectivity)."""
+    curve = weak_scaling_curve()
+    for n in (1, 2, 4):
+        assert curve[n]["efficiency_vs_baseline"] > 1.0
+    assert (
+        curve[1]["efficiency_vs_baseline"]
+        > curve[2]["efficiency_vs_baseline"]
+        > curve[4]["efficiency_vs_baseline"]
+        > 1.0
+    )
+
+
+def test_weak_scaling_baseline_is_unity():
+    curve = weak_scaling_curve()
+    assert np.isclose(curve[8]["efficiency_vs_baseline"], 1.0)
+
+
+def test_gpu_dominated_by_cell_work():
+    """Section 3.4: 'most of the total time was spent on the GPUs solving
+    the cellular dynamics within the window'."""
+    m = ScalingModel()
+    t = m.step_time(
+        n_nodes=8,
+        bulk_points=9.1e6 * 8,
+        window_points=8.0e6 * 8,
+        n_cells=2400 * 8,
+        fine_substeps=20,
+    )
+    assert t["gpu"] > t["cpu"]
+
+
+def test_step_time_components_positive():
+    m = ScalingModel()
+    t = m.step_time(16, 1e9, 1e8, 1e5)
+    for key in ("total", "cpu", "gpu", "comm", "coupling"):
+        assert t[key] >= 0
+    assert t["total"] >= max(t["cpu"], t["gpu"])
+
+
+def test_neighbor_fraction_saturates():
+    m = ScalingModel()
+    fracs = [m._neighbor_fraction(n) for n in (1, 2, 4, 8, 64)]
+    assert fracs[0] == 0.0
+    assert fracs[1] < fracs[2] < fracs[3]
+    assert fracs[3] == fracs[4] == 1.0

@@ -1,0 +1,50 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_tables_command(capsys):
+    assert main(["tables"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 2" in out and "Table 3" in out
+    assert "41.0" in out
+
+
+def test_scaling_command(capsys):
+    assert main(["scaling"]) == 0
+    out = capsys.readouterr().out
+    assert "Fig. 7" in out and "Fig. 8" in out
+    assert "512" in out
+
+
+@pytest.mark.slow
+def test_shear_command(tmp_path, capsys):
+    csv = tmp_path / "profile.csv"
+    assert main(["shear", "--lam", "0.5", "--ratio", "2",
+                 "--ny", "12", "--steps", "300", "--csv", str(csv)]) == 0
+    out = capsys.readouterr().out
+    assert "bulk L2 error" in out
+    assert csv.exists()
+    from repro.io import read_csv
+
+    header, data = read_csv(csv)
+    assert header == ["y_m", "u_window"]
+    assert len(data) > 0
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["bogus"])
+
+
+def test_shear_defaults_parse():
+    args = build_parser().parse_args(["shear"])
+    assert args.lam == 0.5
+    assert args.ratio == 2

@@ -1,0 +1,47 @@
+"""Paper-sourced constants: internal consistency checks."""
+
+import numpy as np
+
+from repro import constants as C
+
+
+def test_viscosity_contrast_is_paper_lambda():
+    """Plasma 1.2 cP over whole blood 4 cP = 0.3 (Section 3.3)."""
+    assert np.isclose(C.PHYSIOLOGICAL_LAMBDA, 0.3)
+
+
+def test_ctc_stiffness_ratio():
+    """Section 3.3: CTC Gs = 1e-4 N/m vs healthy RBC 5e-6 N/m."""
+    assert np.isclose(C.CTC_SHEAR_MODULUS / C.RBC_SHEAR_MODULUS, 20.0)
+
+
+def test_rbc_count_consistent_with_blood_volume():
+    """Section 1: 5 L of blood at 45% Ht holds ~25e12 RBCs of ~94 fL.
+
+    45% of 5 L / 94 fL = 2.4e13 — the paper's 25 trillion within 5%.
+    """
+    implied = C.SYSTEMIC_HEMATOCRIT * C.TOTAL_BLOOD_VOLUME / C.RBC_VOLUME
+    assert np.isclose(implied, C.TOTAL_RBC_COUNT, rtol=0.06)
+
+
+def test_rbc_memory_figure():
+    """Section 3.6: 51 kB per RBC for the 642-vertex mesh."""
+    assert C.BYTES_PER_RBC == 51 * 1024
+    # Sanity: a (V, 3) double position array is well under the budget —
+    # the figure covers positions, velocities, forces, reference data...
+    assert C.RBC_MESH_VERTICES * 3 * 8 < C.BYTES_PER_RBC
+
+
+def test_mesh_counts_match_subdivision_formulae():
+    """3 icosahedral subdivisions: V = 10*4^3 + 2, F = 20*4^3."""
+    assert C.RBC_MESH_VERTICES == 10 * 4**3 + 2
+    assert C.RBC_MESH_ELEMENTS == 20 * 4**3
+
+
+def test_cs2_value():
+    assert np.isclose(C.CS2, 1.0 / 3.0)
+
+
+def test_viscosity_units():
+    assert np.isclose(C.PLASMA_VISCOSITY_CP * C.CP_TO_PA_S, 1.2e-3)
+    assert np.isclose(C.WHOLE_BLOOD_VISCOSITY_CP * C.CP_TO_PA_S, 4.0e-3)

@@ -1,0 +1,111 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+Invariants that tie several subsystems together; narrower per-module
+properties live next to their modules.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analytics import pries_relative_viscosity, region_hematocrit
+from repro.core import Region, Window, WindowSpec, tau_fine_from_coarse
+from repro.core.viscosity import stress_match_scale_to_fine
+from repro.units import UnitSystem
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    proper=st.floats(1e-6, 100e-6),
+    ramp=st.floats(0.5e-6, 30e-6),
+    ins=st.floats(0.5e-6, 30e-6),
+    r=st.floats(0.0, 300e-6),
+)
+def test_window_classification_monotone_in_distance(proper, ramp, ins, r):
+    """Walking outward along an axis can only leave, never re-enter,
+    inner shells: region index is non-increasing with distance."""
+    w = Window(center=np.zeros(3), spec=WindowSpec(proper, ramp, ins))
+    radii = np.linspace(0, r + 1e-6, 20)
+    pts = np.zeros((20, 3))
+    pts[:, 0] = radii
+    regions = w.classify(pts)
+    assert np.all(np.diff(regions.astype(int)) <= 0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    scale=st.floats(0.1, 10.0),
+    ht=st.floats(0.01, 0.5),
+)
+def test_region_hematocrit_scale_invariant(scale, ht):
+    """Scaling geometry and cell volumes together leaves Ht unchanged."""
+    rng = np.random.default_rng(0)
+    cents = rng.uniform(0, 1, size=(20, 3))
+    box = 1.0
+    vols = np.full(20, ht * box**3 / 20)
+    base = region_hematocrit(vols, cents, np.zeros(3), np.ones(3))
+    scaled = region_hematocrit(
+        vols * scale**3, cents * scale, np.zeros(3), np.full(3, scale)
+    )
+    assert np.isclose(base, scaled, rtol=1e-9)
+    assert np.isclose(base, ht, rtol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    tau_c=st.floats(0.6, 1.8),
+    n=st.integers(2, 10),
+    lam=st.floats(0.15, 1.0),
+)
+def test_ghost_scale_bounded_and_positive(tau_c, n, lam):
+    """The stress-matching factor stays positive and finite for every
+    physically sensible (tau_c, n, lambda) combination."""
+    tau_f = tau_fine_from_coarse(tau_c, n, lam)
+    s = float(stress_match_scale_to_fine(tau_c, tau_f))
+    assert 0.0 < s < 100.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    d=st.floats(10.0, 1000.0),
+    ht1=st.floats(0.05, 0.30),
+    dht=st.floats(0.01, 0.25),
+)
+def test_pries_monotone_in_hematocrit_property(d, ht1, dht):
+    assert pries_relative_viscosity(d, ht1 + dht) > pries_relative_viscosity(d, ht1)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    dx=st.floats(1e-7, 1e-5),
+    tau=st.floats(0.55, 1.5),
+    n=st.integers(2, 10),
+    lam=st.floats(0.2, 1.0),
+)
+def test_eq7_equals_unit_system_route_property(dx, tau, n, lam):
+    """Eq. 7 and the two-unit-system derivation agree for any inputs."""
+    nu_c = (tau - 0.5) / 3.0 * dx**2 / 1e-7  # pick dt = 1e-7
+    units = UnitSystem(dx, 1e-7)
+    tau_f_eq7 = tau_fine_from_coarse(tau, n, lam)
+    tau_f_units = units.refined(n).tau_for_viscosity(lam * nu_c)
+    assert np.isclose(tau_f_eq7, tau_f_units, rtol=1e-10)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 1000))
+def test_stamping_deterministic_for_seed(seed):
+    """Same tile + same rng seed -> identical stamped populations."""
+    from repro.core.seeding import RBCTile, stamp_tile
+    from repro.fsi import CellManager
+
+    tile = RBCTile.build(hematocrit=0.12, side=16e-6, seed=1, diameter=5.5e-6)
+
+    def run():
+        m = CellManager()
+        added = stamp_tile(
+            m, tile, np.zeros(3), np.full(3, 14e-6),
+            np.random.default_rng(seed), diameter=5.5e-6, subdivisions=1,
+        )
+        return [(c.global_id, c.centroid().tolist()) for c in added]
+
+    assert run() == run()
