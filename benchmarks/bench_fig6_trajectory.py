@@ -9,8 +9,6 @@ explicit-RBC-count ratios at toy scale plus the calibrated model ratio).
 REPRO_FULL=1 runs multiple seeds (the paper uses 8 replicas, Fig. 6C).
 """
 
-import time
-
 import numpy as np
 import pytest
 
@@ -22,6 +20,7 @@ from repro.experiments.expanding_channel import (
     run_expanding_channel_efsi,
 )
 from repro.perfmodel.costmodel import node_hour_ratio
+from repro.telemetry import Timer, get_telemetry
 
 SEEDS = (0, 1, 2) if FULL else (0,)
 EFSI_STEPS = 1200 if FULL else 250
@@ -36,15 +35,19 @@ def test_fig6_trajectory_pair(benchmark, seed):
     params = _params()
 
     def run_pair():
-        t0 = time.perf_counter()
-        efsi = run_expanding_channel_efsi(seed=seed, params=params, steps=EFSI_STEPS)
-        t_efsi = time.perf_counter() - t0
-        t0 = time.perf_counter()
-        apr = run_expanding_channel_apr(
-            seed=seed, params=params, steps=EFSI_STEPS // params.refinement
-        )
-        t_apr = time.perf_counter() - t0
-        return efsi, apr, t_efsi, t_apr
+        tel = get_telemetry()
+        t_e, t_a = Timer(), Timer()
+        with tel.phase("fig6_efsi"), t_e:
+            efsi = run_expanding_channel_efsi(
+                seed=seed, params=params, steps=EFSI_STEPS
+            )
+        with tel.phase("fig6_apr"), t_a:
+            apr = run_expanding_channel_apr(
+                seed=seed, params=params, steps=EFSI_STEPS // params.refinement
+            )
+        tel.event("fig6_pair", seed=seed, wall_efsi_s=t_e.elapsed,
+                  wall_apr_s=t_a.elapsed)
+        return efsi, apr, t_e.elapsed, t_a.elapsed
 
     efsi, apr, t_efsi, t_apr = benchmark.pedantic(run_pair, rounds=1, iterations=1)
 

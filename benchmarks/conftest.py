@@ -5,6 +5,12 @@ set ``REPRO_FULL=1`` to run closer-to-paper parameter sweeps (tens of
 minutes to hours).  Every benchmark prints the table rows / figure series
 it regenerates, prefixed with the paper's reported values for comparison;
 EXPERIMENTS.md records a full paper-vs-measured table.
+
+Every benchmark session also records telemetry (phase timings, counters,
+events) to ``REPRO_TELEMETRY_DIR`` (default ``benchmarks/telemetry/``) —
+the ``summary.json`` written there is the per-phase baseline artifact
+that performance PRs diff against.  Set ``REPRO_TELEMETRY_DIR=`` (empty)
+to disable.
 """
 
 import os
@@ -12,11 +18,33 @@ import os
 import pytest
 
 FULL = os.environ.get("REPRO_FULL", "0") == "1"
+TELEMETRY_DIR = os.environ.get(
+    "REPRO_TELEMETRY_DIR", os.path.join(os.path.dirname(__file__), "telemetry")
+)
 
 
 @pytest.fixture(scope="session")
 def full_scale() -> bool:
     return FULL
+
+
+@pytest.fixture(scope="session", autouse=True)
+def session_telemetry():
+    """Record phase timings/metrics for the whole benchmark session."""
+    if not TELEMETRY_DIR:
+        yield None
+        return
+    from repro.telemetry import Telemetry, set_telemetry
+
+    tel = Telemetry(out_dir=TELEMETRY_DIR, meta={"full_scale": FULL})
+    set_telemetry(tel)
+    tel.event("session_start", full_scale=FULL)
+    yield tel
+    tel.event("session_end")
+    path = tel.write_summary()
+    tel.close()
+    set_telemetry(None)
+    print(f"\nbenchmark telemetry summary written to {path}")
 
 
 def banner(title: str) -> None:

@@ -28,6 +28,7 @@ Package map (details in DESIGN.md):
 * :mod:`repro.analytics` — analytic solutions and rheology correlations
 * :mod:`repro.experiments` — per-figure experiment drivers
 * :mod:`repro.io` — CSV/VTK output, checkpointing
+* :mod:`repro.telemetry` — phase timers, metrics, structured run events
 """
 
 from .constants import (
@@ -40,6 +41,7 @@ from .units import UnitSystem
 from .core import APRConfig, APRSimulation, Window, WindowSpec
 from .fsi import CellManager, FSIStepper
 from .membrane import make_ctc, make_rbc
+from .telemetry import NullTelemetry, Telemetry
 
 __version__ = "1.0.0"
 
@@ -53,6 +55,8 @@ __all__ = [
     "FSIStepper",
     "make_rbc",
     "make_ctc",
+    "Telemetry",
+    "NullTelemetry",
     "PLASMA_VISCOSITY_CP",
     "WHOLE_BLOOD_VISCOSITY_CP",
     "RBC_DIAMETER",

@@ -8,6 +8,12 @@ downstream user can regenerate any paper artifact without writing code:
     python -m repro channel --method apr --steps 300
     python -m repro tables
     python -m repro scaling
+    python -m repro profile tube --steps 50 --telemetry-dir out/
+
+Experiment subcommands accept ``--telemetry-dir DIR`` to record phase
+timings, metrics and events for the run (``events.jsonl`` +
+``summary.json`` in DIR); ``profile`` is the dedicated wrapper that also
+pretty-prints the per-phase breakdown.  See ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -93,6 +99,52 @@ def _cmd_scaling(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from .telemetry import Telemetry, active
+
+    tel = Telemetry(
+        out_dir=args.telemetry_dir,
+        meta={"experiment": args.experiment, "steps": args.steps},
+    )
+    with tel, active(tel):
+        tel.event("run_start", experiment=args.experiment, steps=args.steps)
+        if args.experiment == "tube":
+            from .experiments.tube_window import run_tube_window
+
+            r = run_tube_window(hematocrit=args.hematocrit, steps=args.steps)
+            print(f"tube: final Ht {r.hematocrit[-1]:.3f}, "
+                  f"cells {r.n_cells_final} (+{r.n_inserted}/-{r.n_removed})")
+        elif args.experiment == "shear":
+            from .experiments.shear_layers import run_shear_layers
+
+            r = run_shear_layers(lam=args.lam, n=args.ratio, steps=args.steps)
+            print(f"shear: bulk L2 error {r.error_bulk:.4f}, "
+                  f"window L2 error {r.error_window:.4f}")
+        else:  # channel
+            from .experiments.expanding_channel import run_expanding_channel_apr
+
+            r = run_expanding_channel_apr(seed=args.seed, steps=args.steps)
+            print(f"channel: {r.n_rbcs} RBCs, "
+                  f"z -> {r.trajectory[-1, 2] * 1e6:.1f} um")
+        tel.event("run_end")
+        if args.telemetry_dir is not None:
+            summary_path = tel.write_summary()
+            print(f"wrote {tel.out_dir / 'events.jsonl'} and {summary_path}")
+        print(tel.render_summary())
+    return 0
+
+
+def _add_telemetry_flag(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--telemetry-dir",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="record phase timings/metrics/events to DIR "
+             "(events.jsonl + summary.json)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="APR blood-flow reproduction experiments"
@@ -105,17 +157,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ny", type=int, default=12)
     p.add_argument("--steps", type=int, default=1500)
     p.add_argument("--csv", type=str, default=None)
+    _add_telemetry_flag(p)
     p.set_defaults(func=_cmd_shear)
 
     p = sub.add_parser("tube", help="Fig. 5 hematocrit maintenance")
     p.add_argument("--hematocrit", type=float, default=0.2)
     p.add_argument("--steps", type=int, default=100)
+    _add_telemetry_flag(p)
     p.set_defaults(func=_cmd_tube)
 
     p = sub.add_parser("channel", help="Fig. 6 expanding-channel trajectory")
     p.add_argument("--method", choices=("apr", "efsi"), default="apr")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--steps", type=int, default=100)
+    _add_telemetry_flag(p)
     p.set_defaults(func=_cmd_channel)
 
     p = sub.add_parser("tables", help="Tables 2-3 capability arithmetic")
@@ -124,11 +179,38 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("scaling", help="Figs. 7-8 scaling curves")
     p.set_defaults(func=_cmd_scaling)
 
+    p = sub.add_parser(
+        "profile",
+        help="run an experiment under telemetry and print the phase breakdown",
+    )
+    p.add_argument("experiment", choices=("tube", "shear", "channel"))
+    p.add_argument("--steps", type=int, default=50)
+    p.add_argument("--hematocrit", type=float, default=0.2)
+    p.add_argument("--lam", type=float, default=0.5)
+    p.add_argument("--ratio", type=int, default=2)
+    p.add_argument("--seed", type=int, default=0)
+    _add_telemetry_flag(p)
+    p.set_defaults(func=_cmd_profile)
+
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    tdir = getattr(args, "telemetry_dir", None)
+    if tdir is not None and args.command != "profile":
+        # Opt-in telemetry wrapper for the plain experiment subcommands;
+        # ``profile`` manages its own backend (and console rendering).
+        from .telemetry import Telemetry, active
+
+        tel = Telemetry(out_dir=tdir, meta={"command": args.command})
+        with tel, active(tel):
+            tel.event("run_start", command=args.command)
+            rc = args.func(args)
+            tel.event("run_end", returncode=rc)
+            summary_path = tel.write_summary()
+            print(f"wrote {tel.out_dir / 'events.jsonl'} and {summary_path}")
+        return rc
     return args.func(args)
 
 

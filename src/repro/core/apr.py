@@ -31,6 +31,7 @@ from ..fsi.stepper import FSIStepper
 from ..geometry.voxelize import solid_mask_from_sdf
 from ..lbm.grid import Grid
 from ..membrane.cell import Cell
+from ..telemetry import get_telemetry
 from ..units import UnitSystem
 from .moving import MoveReport, WindowMover
 from .refinement import RefinedRegion
@@ -63,6 +64,10 @@ class APRConfig:
     #: this many FSI steps before any stamping, so inserted cells arrive
     #: flow-equilibrated (Section 2.4.2's "physiologically deformed").
     equilibrate_tile_steps: int = 0
+    #: Coarse steps between diagnostic gauge samples (health_report ->
+    #: telemetry gauges + a "health" event).  Only evaluated when a live
+    #: telemetry backend is installed; 0 disables sampling entirely.
+    telemetry_interval: int = 10
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -361,22 +366,53 @@ class APRSimulation:
         """Advance by coarse steps, maintaining Ht and moving the window."""
         cfg = self.config
         assert self.coupling is not None and self.window is not None
+        tel = get_telemetry()
         for _ in range(n_coarse):
-            self.coupling.step(1)
-            self.coarse_step_count += 1
-            if (
-                self.controller is not None
-                and self.coarse_step_count % cfg.maintain_interval == 0
-            ):
-                protect = (
-                    {self.ctc.global_id} if self.ctc is not None else set()
-                )
-                self.controller.maintain(self.cells, protect)
-                self.ht_history.append((self.time, self.window_hematocrit()))
-            if self.ctc is not None:
-                self.tracker.record(self.ctc)
-                if self.tracker.needs_move(self.ctc, self.window):
-                    self.move_window()
+            with tel.phase("step"):
+                self.coupling.step(1)
+                self.coarse_step_count += 1
+                if (
+                    self.controller is not None
+                    and self.coarse_step_count % cfg.maintain_interval == 0
+                ):
+                    protect = (
+                        {self.ctc.global_id} if self.ctc is not None else set()
+                    )
+                    with tel.phase("maintain"):
+                        self.controller.maintain(self.cells, protect)
+                    with tel.phase("measure"):
+                        self.ht_history.append(
+                            (self.time, self.window_hematocrit())
+                        )
+                if self.ctc is not None:
+                    self.tracker.record(self.ctc)
+                    if self.tracker.needs_move(self.ctc, self.window):
+                        self.move_window()
+                if (
+                    tel.enabled
+                    and cfg.telemetry_interval > 0
+                    and self.coarse_step_count % cfg.telemetry_interval == 0
+                ):
+                    with tel.phase("diagnostics"):
+                        self.sample_diagnostics(tel)
+
+    def sample_diagnostics(self, tel=None) -> dict[str, float]:
+        """Sample :func:`~repro.core.diagnostics.health_report` into
+        telemetry gauges (``health.*``) and emit one ``health`` event.
+
+        Called automatically every ``config.telemetry_interval`` coarse
+        steps while a live backend is installed; harmless to call by
+        hand (e.g. right before a checkpoint).
+        """
+        from .diagnostics import health_report
+
+        if tel is None:
+            tel = get_telemetry()
+        report = health_report(self)
+        for key, value in report.items():
+            tel.gauge(f"health.{key}").set(value)
+        tel.event("health", step=self.coarse_step_count, **report)
+        return report
 
     # ------------------------------------------------------------------
     # checkpointing (long campaigns: the paper's cerebral run spans days)
@@ -428,16 +464,33 @@ class APRSimulation:
     def move_window(self) -> MoveReport:
         """Relocate the window onto the CTC (capture/fill algorithm)."""
         assert self.ctc is not None and self.window is not None
-        old_window = self.window
-        proposed = self.tracker.propose_center(self.ctc, old_window)
-        _, snapped, _ = self._snap_window(proposed)
-        new_window = old_window.moved_to(snapped)
-        protect = {self.ctc.global_id}
-        report = self.mover.move_cells(
-            self.cells, old_window, new_window, protect
-        )
-        self._place_window(snapped)
-        if self.controller is not None:
-            report.n_inserted = self.controller.maintain(self.cells, protect)
+        tel = get_telemetry()
+        with tel.phase("window_move"):
+            old_window = self.window
+            proposed = self.tracker.propose_center(self.ctc, old_window)
+            _, snapped, _ = self._snap_window(proposed)
+            new_window = old_window.moved_to(snapped)
+            protect = {self.ctc.global_id}
+            report = self.mover.move_cells(
+                self.cells, old_window, new_window, protect
+            )
+            with tel.phase("rebuild"):
+                self._place_window(snapped)
+            if self.controller is not None:
+                with tel.phase("reseed"):
+                    report.n_inserted = self.controller.maintain(
+                        self.cells, protect
+                    )
         self.move_reports.append(report)
+        tel.inc("window.moves")
+        tel.event(
+            "window_move",
+            step=self.coarse_step_count,
+            time=self.time,
+            displacement=report.displacement,
+            n_captured=report.n_captured,
+            n_filled=report.n_filled,
+            n_removed=report.n_removed,
+            n_inserted=report.n_inserted,
+        )
         return report

@@ -29,14 +29,15 @@ def interface_velocity_mismatch(coupling) -> float:
     next restriction would overwrite them — at a converged coupled state
     the two lattices agree to interpolation accuracy.
     """
-    if coupling._restrict_coarse is None:
+    coarse_idx = coupling.restriction_coarse_indices
+    if coarse_idx is None:
         return 0.0
     cg = coupling.coarse.grid
     fg = coupling.fine.grid
     _, u_c = macroscopic(cg.f)
     _, u_f = macroscopic(fg.f)
-    ci, cj, ck = coupling._restrict_coarse
-    fi, fj, fk = coupling._restrict_fine
+    ci, cj, ck = coarse_idx
+    fi, fj, fk = coupling.restriction_fine_indices
     diff = u_c[:, ci, cj, ck] - u_f[:, fi, fj, fk]
     return float(np.abs(diff).max()) if diff.size else 0.0
 

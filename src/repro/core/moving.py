@@ -25,6 +25,7 @@ import numpy as np
 from ..fsi.cell_manager import CellManager
 from ..fsi.subgrid import UniformSubgrid
 from ..membrane.cell import Cell, CellKind
+from ..telemetry import get_telemetry
 from .window import Window
 
 
@@ -81,19 +82,22 @@ class WindowMover:
         re-seeding is the caller's job (the hematocrit controller runs
         right after the move).
         """
+        tel = get_telemetry()
         displacement = new_window.center - old_window.center
-        rbcs = [
-            c for c in manager.cells
-            if c.kind is CellKind.RBC and c.global_id not in protect
-        ]
-        capture, rest = classify_for_move(rbcs, old_window, new_window)
-        capture_ids = {c.global_id for c in capture}
+        with tel.phase("capture"):
+            rbcs = [
+                c for c in manager.cells
+                if c.kind is CellKind.RBC and c.global_id not in protect
+            ]
+            capture, rest = classify_for_move(rbcs, old_window, new_window)
+            capture_ids = {c.global_id for c in capture}
 
-        # Subgrid over kept (captured + protected) cells for overlap checks.
-        occupied = UniformSubgrid(cell_size=self.overlap_cutoff)
-        for cell in manager.cells:
-            if cell.global_id in capture_ids or cell.global_id in protect:
-                occupied.insert(cell.vertices, cell.global_id)
+            # Subgrid over kept (captured + protected) cells for overlap
+            # checks.
+            occupied = UniformSubgrid(cell_size=self.overlap_cutoff)
+            for cell in manager.cells:
+                if cell.global_id in capture_ids or cell.global_id in protect:
+                    occupied.insert(cell.vertices, cell.global_id)
 
         lo_int, hi_int = new_window.interior_bounds()
         lo_cap, hi_cap = new_window.interior_bounds()
@@ -102,26 +106,30 @@ class WindowMover:
         # the ones that land in the fill region (interior minus capture).
         n_filled = 0
         fills: list[Cell] = []
-        for cell in sorted(rbcs, key=lambda c: c.global_id):
-            clone = cell.copy(new_id=manager.allocate_id())
-            clone.translate(displacement)
-            c = clone.centroid()
-            if not (np.all(c >= lo_int) and np.all(c <= hi_int)):
-                continue
-            # Skip clones overlapping captured/earlier-filled cells.
-            if occupied.query_labels_near(clone.vertices, self.overlap_cutoff):
-                continue
-            fills.append(clone)
-            occupied.insert(clone.vertices, clone.global_id)
-            n_filled += 1
+        with tel.phase("fill"):
+            for cell in sorted(rbcs, key=lambda c: c.global_id):
+                clone = cell.copy(new_id=manager.allocate_id())
+                clone.translate(displacement)
+                c = clone.centroid()
+                if not (np.all(c >= lo_int) and np.all(c <= hi_int)):
+                    continue
+                # Skip clones overlapping captured/earlier-filled cells.
+                if occupied.query_labels_near(clone.vertices, self.overlap_cutoff):
+                    continue
+                fills.append(clone)
+                occupied.insert(clone.vertices, clone.global_id)
+                n_filled += 1
 
-        # Remove old cells that were not captured.
-        doomed = [c.global_id for c in rest]
-        for gid in doomed:
-            manager.remove(gid)
-        for clone in fills:
-            manager.add(clone)
+            # Remove old cells that were not captured.
+            doomed = [c.global_id for c in rest]
+            for gid in doomed:
+                manager.remove(gid)
+            for clone in fills:
+                manager.add(clone)
 
+        tel.inc("window.cells_captured", len(capture))
+        tel.inc("window.cells_filled", n_filled)
+        tel.inc("window.cells_dropped", len(doomed))
         return MoveReport(
             displacement=displacement,
             n_captured=len(capture),

@@ -36,6 +36,7 @@ from ..ibm.coupling import interpolate
 from ..lbm.collision import equilibrium, macroscopic
 from ..lbm.grid import Grid
 from ..lbm.lattice import D3Q19
+from ..telemetry import get_telemetry
 from .viscosity import (
     stress_match_scale_to_coarse,
     stress_match_scale_to_fine,
@@ -190,10 +191,29 @@ class RefinedRegion:
         fidx = (cidx - self._i0) * self.n
         self._restrict_coarse = tuple(cidx.T)
         self._restrict_fine = tuple(fidx.T)
+        for arr in self._restrict_coarse + self._restrict_fine:
+            arr.flags.writeable = False
         tau_c = cg.tau_at(cidx)
         self._restrict_scale = stress_match_scale_to_coarse(
             tau_c, self.fine.grid.tau
         )
+
+    # ------------------------------------------------------------------
+    @property
+    def restriction_coarse_indices(self) -> tuple[np.ndarray, ...] | None:
+        """Read-only ``(i, j, k)`` arrays of the coarse nodes that the
+        restriction overwrites, or ``None`` when the window is too small
+        to restrict.  The arrays are non-writeable views — diagnostics
+        and analysis code should index with them, never mutate them."""
+        return self._restrict_coarse
+
+    @property
+    def restriction_fine_indices(self) -> tuple[np.ndarray, ...] | None:
+        """Read-only ``(i, j, k)`` arrays of the fine nodes coincident
+        with :attr:`restriction_coarse_indices` (same ordering)."""
+        if self._restrict_coarse is None:
+            return None
+        return self._restrict_fine
 
     # ------------------------------------------------------------------
     def _scale_to_fine(self, frac_coords: np.ndarray) -> np.ndarray:
@@ -276,12 +296,18 @@ class RefinedRegion:
     # ------------------------------------------------------------------
     def step(self, n_coarse: int = 1) -> None:
         """Advance the coupled system by ``n_coarse`` coarse time steps."""
+        tel = get_telemetry()
         for _ in range(n_coarse):
-            self._state_prev = self._coarse_state()
-            self.coarse.step()
-            self._state_next = self._coarse_state()
+            with tel.phase("coarse"):
+                self._state_prev = self._coarse_state()
+                self.coarse.step()
+                self._state_next = self._coarse_state()
             for s in range(self.n):
-                self._impose_ghosts(theta=s / self.n)
-                self.fine.step()
-            self._impose_ghosts(theta=1.0)
-            self._restrict()
+                with tel.phase("interpolate"):
+                    self._impose_ghosts(theta=s / self.n)
+                with tel.phase("fine"):
+                    self.fine.step()
+            with tel.phase("interpolate"):
+                self._impose_ghosts(theta=1.0)
+            with tel.phase("restrict"):
+                self._restrict()

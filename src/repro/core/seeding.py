@@ -293,8 +293,8 @@ def equilibrate_tile(
     # folding it into the body-force hook sequence.
     original_spread = stepper._spread_forces
 
-    def spread_with_profile():
-        original_spread()
+    def spread_with_profile(tel=None):
+        original_spread(tel)
         grid.force[0] += grid_force_profile[None, :, None]
 
     stepper._spread_forces = spread_with_profile  # type: ignore[method-assign]

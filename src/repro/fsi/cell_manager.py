@@ -20,6 +20,7 @@ from ..membrane.bending import bending_forces
 from ..membrane.cell import Cell, CellKind
 from ..membrane.constraints import area_volume_forces
 from ..membrane.skalak import skalak_forces
+from ..telemetry import get_telemetry
 from .pool import VertexPool
 
 
@@ -101,10 +102,12 @@ class CellManager:
         slot = group.pool.acquire(cell.vertices)
         if group.pool.grow_events != group.last_grow_events:
             self._rebind(group)
+            get_telemetry().inc("cells.pool_grows")
         cell.vertices = group.pool.view(slot)
         group.cells.append(cell)
         group.slots.append(slot)
         self._by_id[cell.global_id] = (key, len(group.cells) - 1)
+        get_telemetry().inc("cells.inserted")
         return cell
 
     def remove(self, global_id: int) -> Cell:
@@ -123,6 +126,7 @@ class CellManager:
         group.slots.pop()
         # Detach the removed cell from the pool (give it its own copy).
         cell.vertices = np.array(cell.vertices)
+        get_telemetry().inc("cells.removed")
         return cell
 
     def remove_where(self, predicate) -> list[Cell]:

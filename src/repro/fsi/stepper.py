@@ -22,6 +22,7 @@ import numpy as np
 from ..ibm.coupling import IBMCoupler
 from ..lbm.grid import Grid
 from ..lbm.solver import BoundaryHandler, LBMSolver
+from ..telemetry import get_telemetry
 from ..units import UnitSystem
 from .cell_manager import CellManager
 
@@ -84,41 +85,50 @@ class FSIStepper:
     # ------------------------------------------------------------------
     def step(self, n: int = 1) -> None:
         """Advance fluid and cells by ``n`` steps of this level's dt."""
+        tel = get_telemetry()
         for _ in range(n):
-            self._spread_forces()
-            self.solver.step()
-            self._advect_cells()
+            self._spread_forces(tel)
+            with tel.phase("collide_stream"):
+                self.solver.step()
+            self._advect_cells(tel)
             self.step_count += 1
 
-    def _spread_forces(self) -> None:
+    def _spread_forces(self, tel=None) -> None:
+        if tel is None:
+            tel = get_telemetry()
         g = self.grid
         g.force[:] = self.body_force_lattice[:, None, None, None]
         if self.cells.n_cells == 0:
             return
-        forces, verts, _ = self.cells.total_forces()
-        if self.wall_geometry is not None:
-            from .walls import wall_repulsion_forces
+        with tel.phase("forces"):
+            forces, verts, _ = self.cells.total_forces()
+            if self.wall_geometry is not None:
+                from .walls import wall_repulsion_forces
 
-            forces = forces + wall_repulsion_forces(
-                self.wall_geometry, verts, self.wall_cutoff, self.wall_stiffness
-            )
-        forces_lat = forces * self.units.force_to_lattice(1.0)
-        self.coupler.spread_forces(verts, forces_lat)
+                forces = forces + wall_repulsion_forces(
+                    self.wall_geometry, verts, self.wall_cutoff, self.wall_stiffness
+                )
+            forces_lat = forces * self.units.force_to_lattice(1.0)
+        with tel.phase("spread"):
+            self.coupler.spread_forces(verts, forces_lat)
 
-    def _advect_cells(self) -> None:
+    def _advect_cells(self, tel=None) -> None:
         if self.cells.n_cells == 0:
             return
-        _, u = self.solver.macroscopic()
-        verts, _, cells = self.cells.all_vertices()
-        v_lat = self.coupler.interpolate_velocity(verts, u)
-        # One lattice time step: dx_lat = u_lat * 1, physical = u_lat * dx.
-        self.cells.update_vertices(v_lat * self.units.dx)
-        offset = 0
-        v_phys = v_lat * (self.units.dx / self.units.dt)
-        for cell in cells:
-            nv = len(cell.vertices)
-            cell.velocities = v_phys[offset : offset + nv]
-            offset += nv
+        if tel is None:
+            tel = get_telemetry()
+        with tel.phase("advect"):
+            _, u = self.solver.macroscopic()
+            verts, _, cells = self.cells.all_vertices()
+            v_lat = self.coupler.interpolate_velocity(verts, u)
+            # One lattice time step: dx_lat = u_lat * 1, physical = u_lat * dx.
+            self.cells.update_vertices(v_lat * self.units.dx)
+            offset = 0
+            v_phys = v_lat * (self.units.dx / self.units.dt)
+            for cell in cells:
+                nv = len(cell.vertices)
+                cell.velocities = v_phys[offset : offset + nv]
+                offset += nv
 
     # ------------------------------------------------------------------
     def fluid_velocity(self) -> np.ndarray:

@@ -1,0 +1,61 @@
+"""Telemetry: phase timers, counters/gauges, and structured run events.
+
+The instrumentation layer behind APR campaign observability:
+
+* :class:`Timer` / ``phase()`` — monotonic-clock wall-time accounting
+  with nested-phase support (``"step/fine/spread"`` paths);
+* :class:`Counter` / :class:`Gauge` — process-local metrics (cell
+  churn, window moves, diagnostic samples);
+* ``events.jsonl`` — append-only structured event stream per run;
+* ``summary.json`` — end-of-run aggregate (per-phase total/mean/max,
+  call counts, phase coverage, metric finals);
+* :class:`NullTelemetry` — the default no-op backend, so instrumented
+  hot paths are free when telemetry is off.
+
+Usage::
+
+    from repro.telemetry import Telemetry, active
+
+    tel = Telemetry(out_dir="out/")
+    with active(tel):
+        sim.step(100)          # library code records phases/metrics
+    tel.write_summary()
+    print(tel.render_summary())
+
+See ``docs/observability.md`` for the event schema and how to read a
+run summary.
+"""
+
+from .backend import (
+    NULL,
+    NullTelemetry,
+    Telemetry,
+    active,
+    get_telemetry,
+    set_telemetry,
+)
+from .events import EventSink, read_events
+from .metrics import Counter, Gauge, MetricRegistry
+from .report import phase_coverage, render_summary, summarize, write_summary
+from .timers import PhaseRecorder, PhaseStat, Timer
+
+__all__ = [
+    "NULL",
+    "NullTelemetry",
+    "Telemetry",
+    "active",
+    "get_telemetry",
+    "set_telemetry",
+    "EventSink",
+    "read_events",
+    "Counter",
+    "Gauge",
+    "MetricRegistry",
+    "phase_coverage",
+    "render_summary",
+    "summarize",
+    "write_summary",
+    "PhaseRecorder",
+    "PhaseStat",
+    "Timer",
+]

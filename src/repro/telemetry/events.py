@@ -1,0 +1,57 @@
+"""Structured run events as append-only JSON Lines.
+
+One event per line keeps the sink crash-tolerant (a truncated final line
+loses one event, not the file) and streamable — a long cerebral campaign
+can be watched with ``tail -f events.jsonl``.  NumPy scalars and small
+arrays are serialized transparently.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+
+def _jsonable(obj):
+    """JSON fallback for the numpy types telemetry payloads carry."""
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, np.generic):
+        return obj.item()
+    return str(obj)
+
+
+class EventSink:
+    """Buffered JSONL writer; the file is created on the first event."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._fh = None
+
+    def emit(self, record: dict) -> None:
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "a", encoding="utf-8")
+        self._fh.write(json.dumps(record, default=_jsonable) + "\n")
+
+    def flush(self) -> None:
+        if self._fh is not None:
+            self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+def read_events(path: str | Path) -> list[dict]:
+    """Load every event from a JSONL file (skipping blank lines)."""
+    out: list[dict] = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out

@@ -1,0 +1,118 @@
+"""End-of-run summaries: aggregation, JSON artifact, console rendering.
+
+A summary collects per-phase wall-time statistics (total / mean / max /
+call count), phase *coverage* (what fraction of each parent phase its
+instrumented children account for — the gap is untimed code), final
+counter values, and final gauge samples.  ``write_summary`` produces the
+machine-readable baseline artifact future performance PRs diff against;
+``render_summary`` pretty-prints the same data as an indented tree.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .timers import PATH_SEP
+
+
+def phase_children(phases: dict[str, dict]) -> dict[str, list[str]]:
+    """Map each phase path to its direct children (present in ``phases``)."""
+    out: dict[str, list[str]] = {path: [] for path in phases}
+    for path in phases:
+        if PATH_SEP in path:
+            parent = path.rsplit(PATH_SEP, 1)[0]
+            if parent in out:
+                out[parent].append(path)
+    return out
+
+
+def phase_coverage(phases: dict[str, dict]) -> dict[str, float]:
+    """Fraction of each parent phase's wall time timed by its children.
+
+    Only parents with at least one instrumented child appear.  A value
+    near 1.0 means the breakdown accounts for essentially all of the
+    parent's time; a low value flags untimed work inside that phase.
+    """
+    cov: dict[str, float] = {}
+    for parent, children in phase_children(phases).items():
+        if not children:
+            continue
+        total = phases[parent]["total_s"]
+        child_sum = sum(phases[c]["total_s"] for c in children)
+        cov[parent] = child_sum / total if total > 0 else 0.0
+    return cov
+
+
+def summarize(telemetry) -> dict:
+    """Build the aggregated summary dict for a live Telemetry backend."""
+    phases = telemetry.recorder.as_dict()
+    metrics = telemetry.metrics.as_dict()
+    return {
+        "meta": {
+            "wall_s": telemetry.uptime(),
+            "n_events": telemetry.n_events,
+            **telemetry.meta,
+        },
+        "phases": phases,
+        "phase_coverage": phase_coverage(phases),
+        "counters": metrics["counters"],
+        "gauges": metrics["gauges"],
+    }
+
+
+def write_summary(summary: dict, path: str | Path) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(summary, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def _fmt_seconds(s: float) -> str:
+    if s >= 1.0:
+        return f"{s:8.3f}s"
+    return f"{s * 1e3:7.2f}ms"
+
+
+def render_summary(summary: dict) -> str:
+    """Human-readable phase tree + metrics for the console."""
+    lines: list[str] = []
+    meta = summary.get("meta", {})
+    lines.append(f"telemetry summary — wall {meta.get('wall_s', 0.0):.3f}s, "
+                 f"{meta.get('n_events', 0)} events")
+    phases = summary.get("phases", {})
+    coverage = summary.get("phase_coverage", {})
+    if phases:
+        lines.append("")
+        lines.append(f"  {'phase':<36} {'total':>10} {'count':>7} "
+                     f"{'mean':>10} {'max':>10}  cover")
+        for path in sorted(phases):
+            st = phases[path]
+            depth = path.count(PATH_SEP)
+            name = "  " * depth + path.rsplit(PATH_SEP, 1)[-1]
+            cov = coverage.get(path)
+            cov_s = f"{cov * 100:4.0f}%" if cov is not None else "     "
+            lines.append(
+                f"  {name:<36} {_fmt_seconds(st['total_s']):>10} "
+                f"{st['count']:>7d} {_fmt_seconds(st['mean_s']):>10} "
+                f"{_fmt_seconds(st['max_s']):>10}  {cov_s}"
+            )
+    counters = summary.get("counters", {})
+    if counters:
+        lines.append("")
+        lines.append("  counters:")
+        for name in sorted(counters):
+            lines.append(f"    {name:<40} {counters[name]['value']}")
+    gauges = summary.get("gauges", {})
+    if gauges:
+        lines.append("")
+        lines.append("  gauges (final [min, max] over n samples):")
+        for name in sorted(gauges):
+            g = gauges[name]
+            lines.append(
+                f"    {name:<40} {g['value']:.6g} "
+                f"[{g['min']:.6g}, {g['max']:.6g}] over {g['n_samples']}"
+            )
+    return "\n".join(lines)

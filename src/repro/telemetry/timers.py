@@ -1,0 +1,165 @@
+"""Monotonic phase timing: nested phase contexts and stopwatch timers.
+
+All timing uses ``time.perf_counter`` (a monotonic, high-resolution
+clock) by default; every class takes an injectable ``clock`` callable so
+tests can drive the accounting deterministically.
+
+Phases nest: entering ``phase("fine")`` inside ``phase("step")`` records
+wall time under the path ``"step/fine"``.  Each unique path accumulates
+one :class:`PhaseStat` (count / total / min / max), so an end-of-run
+summary can report both where time went and how it was distributed over
+calls — the per-phase breakdown the paper's Summit runs rely on to
+attribute cost to IBM spreading, halo recompute, and cell management.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+
+PATH_SEP = "/"
+
+
+@dataclass
+class PhaseStat:
+    """Accumulated wall-time statistics for one phase path."""
+
+    count: int = 0
+    total: float = 0.0
+    min: float = math.inf
+    max: float = 0.0
+
+    def update(self, dt: float) -> None:
+        self.count += 1
+        self.total += dt
+        if dt < self.min:
+            self.min = dt
+        if dt > self.max:
+            self.max = dt
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "total_s": self.total,
+            "mean_s": self.mean,
+            "min_s": self.min if self.count else 0.0,
+            "max_s": self.max,
+        }
+
+
+class Timer:
+    """Start/stop stopwatch on the monotonic clock.
+
+    Usable as a context manager; ``elapsed`` accumulates across multiple
+    start/stop cycles (handy for benchmark loops)::
+
+        t = Timer()
+        with t:
+            expensive()
+        print(t.elapsed)
+    """
+
+    __slots__ = ("_clock", "_t0", "elapsed")
+
+    def __init__(self, clock=time.perf_counter):
+        self._clock = clock
+        self._t0: float | None = None
+        self.elapsed = 0.0
+
+    @property
+    def running(self) -> bool:
+        return self._t0 is not None
+
+    def start(self) -> "Timer":
+        if self._t0 is not None:
+            raise RuntimeError("timer already running")
+        self._t0 = self._clock()
+        return self
+
+    def stop(self) -> float:
+        if self._t0 is None:
+            raise RuntimeError("timer not running")
+        self.elapsed += self._clock() - self._t0
+        self._t0 = None
+        return self.elapsed
+
+    def reset(self) -> None:
+        self._t0 = None
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "Timer":
+        return self.start()
+
+    def __exit__(self, *exc) -> bool:
+        self.stop()
+        return False
+
+
+class _PhaseContext:
+    """One entry into a named phase (created per ``phase()`` call)."""
+
+    __slots__ = ("_recorder", "_name", "_t0")
+
+    def __init__(self, recorder: "PhaseRecorder", name: str):
+        self._recorder = recorder
+        self._name = name
+
+    def __enter__(self) -> "_PhaseContext":
+        rec = self._recorder
+        rec._stack.append(self._name)
+        self._t0 = rec._clock()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        rec = self._recorder
+        dt = rec._clock() - self._t0
+        path = PATH_SEP.join(rec._stack)
+        stat = rec.stats.get(path)
+        if stat is None:
+            stat = rec.stats[path] = PhaseStat()
+        stat.update(dt)
+        rec._stack.pop()
+        return False
+
+
+class _NullPhase:
+    """Shared no-op phase context for the disabled-telemetry path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullPhase":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+NULL_PHASE = _NullPhase()
+
+
+@dataclass
+class PhaseRecorder:
+    """Process-local nested-phase accounting.
+
+    ``stats`` maps slash-joined phase paths (``"step/fine/spread"``) to
+    :class:`PhaseStat`; the current nesting lives in ``_stack``.
+    """
+
+    _clock: object = time.perf_counter
+    stats: dict[str, PhaseStat] = field(default_factory=dict)
+    _stack: list[str] = field(default_factory=list)
+
+    def phase(self, name: str) -> _PhaseContext:
+        return _PhaseContext(self, name)
+
+    @property
+    def current_path(self) -> str:
+        return PATH_SEP.join(self._stack)
+
+    def as_dict(self) -> dict[str, dict]:
+        return {path: stat.as_dict() for path, stat in sorted(self.stats.items())}

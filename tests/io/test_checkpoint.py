@@ -1,6 +1,7 @@
 """Checkpoint save/restore."""
 
 import numpy as np
+import pytest
 
 from repro.fsi import CellManager
 from repro.io import load_checkpoint, save_checkpoint
@@ -71,3 +72,74 @@ def test_no_fine_field(tmp_path):
     save_checkpoint(path, step=0, f_coarse=np.zeros((19, 2, 2, 2)))
     out = load_checkpoint(path)
     assert "f_fine" not in out
+
+
+def _mixed_population():
+    """RBCs at two resolutions/stiffnesses plus a CTC, all deformed."""
+    m = CellManager()
+    rng = np.random.default_rng(7)
+    cells = [
+        make_rbc(np.array([5e-6, 0, 0]), global_id=m.allocate_id(),
+                 subdivisions=1),
+        make_rbc(np.array([-5e-6, 3e-6, 0]), global_id=m.allocate_id(),
+                 subdivisions=2, shear_modulus=1.7e-5),
+        make_ctc(np.array([0, 20e-6, 0]), global_id=m.allocate_id(),
+                 subdivisions=2),
+    ]
+    for cell in cells:
+        m.add(cell)
+        # Small random deformation so restore must preserve exact shapes.
+        cell.vertices += 1e-8 * rng.standard_normal(cell.vertices.shape)
+    return m
+
+
+def test_roundtrip_mixed_kinds_with_extra_payload(tmp_path, rng):
+    """Full-state round trip: fields + mixed-kind cells + extra payload."""
+    path = tmp_path / "ck.npz"
+    m = _mixed_population()
+    shapes = {c.global_id: c.vertices.copy() for c in m.cells}
+    kinds = {c.global_id: c.kind for c in m.cells}
+    moduli = {c.global_id: c.shear_modulus for c in m.cells}
+    f_coarse = rng.random((19, 3, 3, 3))
+    extra = {
+        "window_center": np.array([1.0e-6, -2.0e-6, 3.0e-6]),
+        "move_count": np.array(4),
+    }
+    save_checkpoint(path, step=42, f_coarse=f_coarse, manager=m, extra=extra)
+    out = load_checkpoint(path)
+
+    assert out["step"] == 42
+    assert np.array_equal(out["f_coarse"], f_coarse)
+    assert np.allclose(out["extra"]["window_center"], extra["window_center"])
+    assert int(out["extra"]["move_count"]) == 4
+
+    m2 = out["manager"]
+    assert m2.n_cells == 3
+    assert sorted((c.kind for c in m2.cells), key=lambda k: k.value) == sorted(
+        kinds.values(), key=lambda k: k.value
+    )
+    for gid, verts in shapes.items():
+        cell = m2.get(gid)
+        assert cell.kind is kinds[gid]
+        assert cell.shear_modulus == pytest.approx(moduli[gid])
+        assert np.allclose(cell.vertices, verts)
+        # Reference rebuilt at the right resolution.
+        assert cell.reference.n_vertices == len(verts)
+
+
+def test_restored_mixed_population_supports_further_dynamics(tmp_path):
+    """Restored managers must keep working: forces, removal, re-adding."""
+    path = tmp_path / "ck.npz"
+    m = _mixed_population()
+    save_checkpoint(path, step=0, f_coarse=np.zeros((19, 2, 2, 2)), manager=m)
+    m2 = load_checkpoint(path)["manager"]
+    forces = m2.membrane_forces()
+    assert set(forces) == {c.global_id for c in m2.cells}
+    ctc = next(c for c in m2.cells if c.kind is CellKind.CTC)
+    m2.remove(ctc.global_id)
+    assert m2.n_cells == 2
+    fresh = make_rbc(np.array([0, -20e-6, 0]), global_id=m2.allocate_id(),
+                     subdivisions=1)
+    m2.add(fresh)
+    # New IDs never collide with restored ones.
+    assert len({c.global_id for c in m2.cells}) == m2.n_cells

@@ -1,0 +1,136 @@
+"""Telemetry / NullTelemetry backends, installation, summaries."""
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    NULL,
+    NullTelemetry,
+    Telemetry,
+    active,
+    get_telemetry,
+    phase_coverage,
+    read_events,
+    render_summary,
+    set_telemetry,
+)
+
+
+def test_default_backend_is_null():
+    assert isinstance(get_telemetry(), NullTelemetry)
+    assert not get_telemetry().enabled
+
+
+def test_active_scopes_installation(tmp_path):
+    tel = Telemetry(out_dir=tmp_path)
+    before = get_telemetry()
+    with active(tel) as installed:
+        assert installed is tel
+        assert get_telemetry() is tel
+    assert get_telemetry() is before
+    tel.close()
+
+
+def test_active_restores_on_exception(tmp_path):
+    tel = Telemetry(out_dir=tmp_path)
+    with pytest.raises(RuntimeError):
+        with active(tel):
+            raise RuntimeError("boom")
+    assert get_telemetry() is NULL
+    tel.close()
+
+
+def test_set_telemetry_none_restores_null():
+    tel = Telemetry()
+    set_telemetry(tel)
+    assert get_telemetry() is tel
+    set_telemetry(None)
+    assert get_telemetry() is NULL
+
+
+def test_events_written_to_jsonl(tmp_path):
+    tel = Telemetry(out_dir=tmp_path)
+    tel.event("run_start", experiment="tube")
+    tel.event("health", step=10, ht=0.2)
+    tel.close()
+    events = read_events(tmp_path / "events.jsonl")
+    assert [e["type"] for e in events] == ["run_start", "health"]
+    assert events[0]["experiment"] == "tube"
+    assert all("t" in e for e in events)
+    assert tel.n_events == 2
+
+
+def test_memory_events_without_out_dir():
+    tel = Telemetry()
+    tel.event("a")
+    tel.event("b", x=1)
+    assert [e["type"] for e in tel.events] == ["a", "b"]
+    with pytest.raises(ValueError):
+        tel.write_summary()
+
+
+def test_summary_structure_and_file(tmp_path):
+    tel = Telemetry(out_dir=tmp_path, meta={"experiment": "unit"})
+    with tel.phase("step"):
+        with tel.phase("fine"):
+            pass
+    tel.inc("cells.inserted", 3)
+    tel.gauge("health.ht").set(0.21)
+    tel.event("run_start")
+    path = tel.write_summary()
+    tel.close()
+    with open(path) as fh:
+        s = json.load(fh)
+    assert s["meta"]["experiment"] == "unit"
+    assert s["meta"]["n_events"] == 1
+    assert set(s["phases"]) == {"step", "step/fine"}
+    assert s["phases"]["step"]["count"] == 1
+    assert s["counters"]["cells.inserted"]["value"] == 3
+    assert s["gauges"]["health.ht"]["value"] == pytest.approx(0.21)
+    assert "step" in s["phase_coverage"]
+
+
+def test_phase_coverage_math():
+    phases = {
+        "step": {"total_s": 10.0},
+        "step/a": {"total_s": 6.0},
+        "step/b": {"total_s": 3.0},
+        "step/a/inner": {"total_s": 5.0},
+        "other": {"total_s": 1.0},
+    }
+    cov = phase_coverage(phases)
+    assert cov["step"] == pytest.approx(0.9)
+    assert cov["step/a"] == pytest.approx(5.0 / 6.0)
+    assert "other" not in cov  # leaf: no children to cover it
+
+
+def test_render_summary_mentions_phases_and_metrics():
+    tel = Telemetry(meta={"experiment": "render"})
+    with tel.phase("step"):
+        pass
+    tel.inc("cells.inserted")
+    tel.gauge("ht").set(0.2)
+    text = render_summary(tel.summary())
+    assert "step" in text
+    assert "cells.inserted" in text
+    assert "ht" in text
+
+
+def test_null_telemetry_full_surface(tmp_path):
+    tel = NullTelemetry()
+    with tel.phase("anything"):
+        pass
+    tel.inc("c")
+    tel.sample("g", 1.0)
+    tel.event("e", x=1)
+    assert tel.events == []
+    assert tel.summary() == {}
+    assert tel.write_summary() is None
+    assert tel.render_summary() == "telemetry disabled"
+    tel.counter("c").inc()
+    tel.gauge("g").set(2.0)
+    tel.flush()
+    tel.close()
+    # No files were created anywhere.
+    assert list(tmp_path.iterdir()) == []

@@ -1,0 +1,75 @@
+"""Counters/gauges and the JSONL event sink."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry.events import EventSink, read_events
+from repro.telemetry.metrics import (
+    NULL_COUNTER,
+    NULL_GAUGE,
+    MetricRegistry,
+)
+
+
+def test_counter_increments():
+    reg = MetricRegistry()
+    c = reg.counter("cells.inserted")
+    c.inc()
+    c.add(4)
+    assert c.value == 5
+    # Same name -> same counter.
+    assert reg.counter("cells.inserted") is c
+
+
+def test_gauge_tracks_range():
+    reg = MetricRegistry()
+    g = reg.gauge("ht")
+    g.set(0.2)
+    g.set(0.1)
+    g.set(0.3)
+    assert g.value == pytest.approx(0.3)
+    assert g.min == pytest.approx(0.1)
+    assert g.max == pytest.approx(0.3)
+    assert g.n_samples == 3
+
+
+def test_registry_snapshot():
+    reg = MetricRegistry()
+    reg.counter("a").inc(2)
+    reg.gauge("b").set(1.5)
+    d = reg.as_dict()
+    assert d["counters"]["a"]["value"] == 2
+    assert d["gauges"]["b"]["value"] == pytest.approx(1.5)
+
+
+def test_null_metrics_are_inert():
+    assert NULL_COUNTER.inc(100) == 0
+    assert NULL_COUNTER.value == 0
+    assert NULL_GAUGE.set(3.0) == 0.0
+    assert NULL_GAUGE.value == 0.0
+
+
+def test_event_sink_jsonl_roundtrip(tmp_path):
+    path = tmp_path / "sub" / "events.jsonl"
+    sink = EventSink(path)
+    sink.emit({"t": 0.0, "type": "run_start"})
+    sink.emit({
+        "t": 1.0,
+        "type": "window_move",
+        "displacement": np.array([1.0, 0.0, -2.0]),
+        "n_filled": np.int64(7),
+    })
+    sink.close()
+    events = read_events(path)
+    assert [e["type"] for e in events] == ["run_start", "window_move"]
+    assert events[1]["displacement"] == [1.0, 0.0, -2.0]
+    assert events[1]["n_filled"] == 7
+
+
+def test_event_sink_creates_file_lazily(tmp_path):
+    path = tmp_path / "events.jsonl"
+    sink = EventSink(path)
+    assert not path.exists()
+    sink.emit({"type": "x"})
+    sink.close()
+    assert path.exists()

@@ -1,0 +1,103 @@
+"""Phase timers: nesting, accounting, deterministic clocks."""
+
+import pytest
+
+from repro.telemetry.timers import (
+    NULL_PHASE,
+    PhaseRecorder,
+    PhaseStat,
+    Timer,
+)
+
+
+class FakeClock:
+    """Manually advanced monotonic clock."""
+
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+def test_phase_stat_accumulates():
+    s = PhaseStat()
+    for dt in (0.5, 1.5, 1.0):
+        s.update(dt)
+    assert s.count == 3
+    assert s.total == pytest.approx(3.0)
+    assert s.mean == pytest.approx(1.0)
+    assert s.min == pytest.approx(0.5)
+    assert s.max == pytest.approx(1.5)
+
+
+def test_timer_start_stop_and_context():
+    clock = FakeClock()
+    t = Timer(clock=clock)
+    t.start()
+    clock.advance(2.0)
+    assert t.stop() == pytest.approx(2.0)
+    with t:
+        clock.advance(1.0)
+    assert t.elapsed == pytest.approx(3.0)  # accumulates across cycles
+    t.reset()
+    assert t.elapsed == 0.0
+
+
+def test_timer_misuse_raises():
+    t = Timer()
+    with pytest.raises(RuntimeError):
+        t.stop()
+    t.start()
+    with pytest.raises(RuntimeError):
+        t.start()
+
+
+def test_nested_phases_record_paths():
+    clock = FakeClock()
+    rec = PhaseRecorder(clock)
+    with rec.phase("step"):
+        clock.advance(1.0)
+        with rec.phase("fine"):
+            clock.advance(2.0)
+            with rec.phase("spread"):
+                clock.advance(0.5)
+        with rec.phase("fine"):
+            clock.advance(1.0)
+    assert set(rec.stats) == {"step", "step/fine", "step/fine/spread"}
+    assert rec.stats["step"].total == pytest.approx(4.5)
+    assert rec.stats["step/fine"].count == 2
+    assert rec.stats["step/fine"].total == pytest.approx(3.5)
+    assert rec.stats["step/fine/spread"].total == pytest.approx(0.5)
+
+
+def test_stack_unwinds_on_exception():
+    rec = PhaseRecorder(FakeClock())
+    with pytest.raises(ValueError):
+        with rec.phase("outer"):
+            with rec.phase("inner"):
+                raise ValueError("boom")
+    assert rec.current_path == ""
+    # Both phases were still accounted.
+    assert rec.stats["outer"].count == 1
+    assert rec.stats["outer/inner"].count == 1
+
+
+def test_same_name_at_different_depths_is_distinct():
+    clock = FakeClock()
+    rec = PhaseRecorder(clock)
+    with rec.phase("x"):
+        clock.advance(1.0)
+        with rec.phase("x"):
+            clock.advance(1.0)
+    assert rec.stats["x"].total == pytest.approx(2.0)
+    assert rec.stats["x/x"].total == pytest.approx(1.0)
+
+
+def test_null_phase_is_reusable_and_inert():
+    for _ in range(3):
+        with NULL_PHASE as p:
+            assert p is NULL_PHASE

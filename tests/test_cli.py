@@ -48,3 +48,65 @@ def test_shear_defaults_parse():
     args = build_parser().parse_args(["shear"])
     assert args.lam == 0.5
     assert args.ratio == 2
+
+
+# -- smoke tests: every subcommand runs a minimal configuration ---------
+
+
+def test_shear_smoke(capsys):
+    assert main(["shear", "--steps", "30"]) == 0
+    assert "bulk L2 error" in capsys.readouterr().out
+
+
+def test_tube_smoke(capsys):
+    assert main(["tube", "--steps", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "target Ht" in out and "cells" in out
+
+
+def test_channel_smoke(capsys):
+    assert main(["channel", "--method", "apr", "--steps", "4"]) == 0
+    assert "RBCs" in capsys.readouterr().out
+
+
+def test_profile_smoke(capsys):
+    assert main(["profile", "shear", "--steps", "20"]) == 0
+    out = capsys.readouterr().out
+    assert "telemetry summary" in out
+    assert "coarse" in out and "fine" in out
+
+
+def test_profile_writes_telemetry_artifacts(tmp_path, capsys):
+    import json
+
+    from repro.telemetry import read_events
+
+    out_dir = tmp_path / "out"
+    assert main(["profile", "tube", "--steps", "2",
+                 "--telemetry-dir", str(out_dir)]) == 0
+    events = read_events(out_dir / "events.jsonl")
+    types = [e["type"] for e in events]
+    assert types[0] == "run_start" and types[-1] == "run_end"
+    with open(out_dir / "summary.json") as fh:
+        summary = json.load(fh)
+    assert summary["meta"]["experiment"] == "tube"
+    assert summary["phases"]["step"]["count"] == 2
+    # Acceptance bar: instrumented sub-phases sum to within 10% of the
+    # total step wall time.
+    assert summary["phase_coverage"]["step"] >= 0.9
+    assert summary["counters"]["cells.inserted"]["value"] > 0
+
+
+def test_telemetry_dir_flag_on_plain_subcommand(tmp_path, capsys):
+    out_dir = tmp_path / "tel"
+    assert main(["shear", "--steps", "20",
+                 "--telemetry-dir", str(out_dir)]) == 0
+    assert (out_dir / "events.jsonl").exists()
+    assert (out_dir / "summary.json").exists()
+
+
+def test_telemetry_uninstalled_after_run(tmp_path):
+    from repro.telemetry import NullTelemetry, get_telemetry
+
+    main(["shear", "--steps", "20", "--telemetry-dir", str(tmp_path / "t")])
+    assert isinstance(get_telemetry(), NullTelemetry)
