@@ -443,10 +443,12 @@ class APRSimulation:
 
         data = load_checkpoint(path)
         self.coarse.grid.f[:] = data["f_coarse"]
+        self.coarse.grid.mark_f_modified()
         self._place_window(np.asarray(data["extra"]["window_center"]))
         assert self.fine is not None
         if "f_fine" in data and data["f_fine"].shape == self.fine.grid.f.shape:
             self.fine.grid.f[:] = data["f_fine"]
+            self.fine.grid.mark_f_modified()
         # Replace the population (the manager instance is shared with the
         # fine stepper, so mutate it in place).
         for gid in [c.global_id for c in self.cells.cells]:

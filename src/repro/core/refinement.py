@@ -256,6 +256,7 @@ class RefinedRegion:
         scale = self._scale_to_fine(frac)
         f_new = _equilibrium_points(rho_i, u_i) + scale[None, :] * fneq_i
         fg.f[:, idx[:, 0], idx[:, 1], idx[:, 2]] = f_new
+        fg.mark_f_modified()
 
     def _impose_ghosts(self, theta: float) -> None:
         """Set the fine boundary shell from time-interpolated coarse state."""
@@ -276,6 +277,7 @@ class RefinedRegion:
         fg.f[:, gi, gj, gk] = (
             _equilibrium_points(rho_i, u_i) + self._ghost_scale[None, :] * fneq_i
         )
+        fg.mark_f_modified()
 
     def _restrict(self) -> None:
         """Overwrite interior coarse nodes from coincident fine nodes."""
@@ -292,6 +294,7 @@ class RefinedRegion:
         fneq = f_fine - feq
         ci, cj, ck = self._restrict_coarse
         cg.f[:, ci, cj, ck] = feq + self._restrict_scale[None, :] * fneq
+        cg.mark_f_modified()
 
     # ------------------------------------------------------------------
     def step(self, n_coarse: int = 1) -> None:

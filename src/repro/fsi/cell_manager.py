@@ -6,6 +6,14 @@ in a :class:`~repro.fsi.pool.VertexPool` so membrane forces for the whole
 group evaluate as one batched array operation — the Python counterpart of
 the paper's pooled GPU cell buffers (Section 2.4.5).
 
+On top of the pools the manager keeps a *packed* view of the population:
+one persistent (N, 3) vertex array, the per-vertex cell ordinals, and the
+flat cell list, all rebuilt only when membership changes (``add`` /
+``remove`` / a pool growth bump the generation counter).  The per-step
+hot path (force assembly, IBM coupling, advection) works on these packed
+arrays with one vectorized gather/scatter per group instead of Python
+loops over cells.
+
 Global IDs are allocated monotonically by the manager and never reused,
 which the deterministic overlap-removal rule (Section 2.4.2) relies on.
 """
@@ -44,6 +52,24 @@ class _Group:
     last_grow_events: int = 0
 
 
+class _PackedCache:
+    """Structure of the packed population, valid for one generation."""
+
+    __slots__ = ("generation", "verts", "forces", "ordinals", "cells",
+                 "segments", "splits")
+
+    def __init__(self, generation: int):
+        self.generation = generation
+        #: (group, slots ndarray, packed start row, packed stop row)
+        self.segments: list[tuple[_Group, np.ndarray, int, int]] = []
+        self.cells: list[Cell] = []
+        self.ordinals = np.empty(0, dtype=np.int64)
+        self.verts = np.empty((0, 3), dtype=np.float64)
+        self.forces = np.empty((0, 3), dtype=np.float64)
+        #: Row offsets between consecutive cells (np.split boundaries).
+        self.splits = np.empty(0, dtype=np.intp)
+
+
 class CellManager:
     """Container for all cells in a region, with batched force evaluation."""
 
@@ -53,6 +79,8 @@ class CellManager:
         self._next_id = 0
         self.contact_cutoff = contact_cutoff
         self.contact_stiffness = contact_stiffness
+        self._generation = 0
+        self._packed: _PackedCache | None = None
 
     # -- id allocation ------------------------------------------------------
     def allocate_id(self) -> int:
@@ -67,6 +95,11 @@ class CellManager:
         return range(start, start + count)
 
     # -- membership ---------------------------------------------------------
+    @property
+    def generation(self) -> int:
+        """Bumped whenever membership or storage layout changes."""
+        return self._generation
+
     @property
     def cells(self) -> list[Cell]:
         out: list[Cell] = []
@@ -107,6 +140,7 @@ class CellManager:
         group.cells.append(cell)
         group.slots.append(slot)
         self._by_id[cell.global_id] = (key, len(group.cells) - 1)
+        self._generation += 1
         get_telemetry().inc("cells.inserted")
         return cell
 
@@ -126,12 +160,22 @@ class CellManager:
         group.slots.pop()
         # Detach the removed cell from the pool (give it its own copy).
         cell.vertices = np.array(cell.vertices)
+        self._generation += 1
         get_telemetry().inc("cells.removed")
         return cell
 
     def remove_where(self, predicate) -> list[Cell]:
-        """Remove every cell for which ``predicate(cell)`` is true."""
-        doomed = [c.global_id for c in self.cells if predicate(c)]
+        """Remove every cell for which ``predicate(cell)`` is true.
+
+        The predicate pass iterates the groups directly, so it does not
+        pay the O(n) combined-list rebuild of the ``cells`` property.
+        """
+        doomed = [
+            c.global_id
+            for g in self._groups.values()
+            for c in g.cells
+            if predicate(c)
+        ]
         return [self.remove(gid) for gid in doomed]
 
     def _rebind(self, group: _Group) -> None:
@@ -140,72 +184,159 @@ class CellManager:
             cell.vertices = group.pool.view(slot)
         group.last_grow_events = group.pool.grow_events
 
+    # -- packed storage ------------------------------------------------------
+    def _packed_cache(self) -> _PackedCache:
+        """Packed-layout metadata, rebuilt only when the generation bumps."""
+        p = self._packed
+        if p is not None and p.generation == self._generation:
+            return p
+        p = _PackedCache(self._generation)
+        ordinals = []
+        start = 0
+        for group in self._groups.values():
+            if not group.cells:
+                continue
+            n_cells_before = len(p.cells)
+            b, v = len(group.cells), group.pool.n_vertices
+            stop = start + b * v
+            p.segments.append(
+                (group, np.asarray(group.slots, dtype=np.intp), start, stop)
+            )
+            ordinals.append(
+                np.repeat(np.arange(n_cells_before, n_cells_before + b), v)
+            )
+            p.cells.extend(group.cells)
+            start = stop
+        if ordinals:
+            p.ordinals = np.concatenate(ordinals).astype(np.int64)
+        p.verts = np.empty((start, 3), dtype=np.float64)
+        p.forces = np.empty((start, 3), dtype=np.float64)
+        counts = np.array([len(c.vertices) for c in p.cells], dtype=np.intp)
+        p.splits = np.cumsum(counts)[:-1] if len(counts) else counts
+        self._packed = p
+        return p
+
+    def _refresh_packed_vertices(self) -> _PackedCache:
+        """Gather current pool contents into the persistent packed array."""
+        p = self._packed_cache()
+        for group, slots, start, stop in p.segments:
+            group.pool.gather(
+                slots, out=p.verts[start:stop].reshape(len(slots), -1, 3)
+            )
+        return p
+
     # -- bulk geometry -------------------------------------------------------
+    def packed_vertices(self) -> tuple[np.ndarray, np.ndarray, list[Cell]]:
+        """Persistent packed vertex array, per-vertex ordinal, cell list.
+
+        Same ordering contract as :meth:`all_vertices`, but the returned
+        arrays are *owned by the manager*: they are refreshed in place on
+        the next call and must be treated as read-only snapshots.  This is
+        the per-step hot path used by the FSI stepper.
+        """
+        p = self._refresh_packed_vertices()
+        return p.verts, p.ordinals, p.cells
+
     def all_vertices(self) -> tuple[np.ndarray, np.ndarray, list[Cell]]:
         """All vertices stacked (N, 3), per-vertex cell ordinal, cell list.
 
         Ordering is deterministic: groups in insertion order, cells in
         group order; the ordinal indexes into the returned cell list.
+        The vertex array is a fresh copy (see :meth:`packed_vertices`
+        for the zero-copy variant).
         """
-        chunks = []
-        ordinals = []
-        cells: list[Cell] = []
-        for group in self._groups.values():
-            for cell in group.cells:
-                chunks.append(cell.vertices)
-                ordinals.append(np.full(len(cell.vertices), len(cells)))
-                cells.append(cell)
-        if not chunks:
+        p = self._packed_cache()
+        if not p.cells:
             return np.empty((0, 3)), np.empty(0, dtype=np.int64), []
-        return np.vstack(chunks), np.concatenate(ordinals).astype(np.int64), cells
+        verts = np.empty_like(p.verts)
+        for group, slots, start, stop in p.segments:
+            group.pool.gather(
+                slots, out=verts[start:stop].reshape(len(slots), -1, 3)
+            )
+        return verts, p.ordinals, list(p.cells)
 
     def centroids(self) -> np.ndarray:
-        cells = self.cells
-        if not cells:
+        p = self._refresh_packed_vertices()
+        if not p.cells:
             return np.empty((0, 3))
-        return np.array([c.centroid() for c in cells])
+        starts = np.concatenate(([0], p.splits)).astype(np.intp)
+        sums = np.add.reduceat(p.verts, starts, axis=0)
+        counts = np.diff(np.concatenate((starts, [len(p.verts)])))
+        return sums / counts[:, None]
 
     # -- mechanics -----------------------------------------------------------
+    def _group_membrane_forces(self, group: _Group, slots: np.ndarray) -> np.ndarray:
+        """Batched membrane forces (B, V, 3) for one group."""
+        ref = group.reference
+        sample = group.cells[0]
+        batch = group.pool.gather(slots)
+        f = skalak_forces(batch, ref, sample.shear_modulus, sample.skalak_C)
+        f += bending_forces(batch, ref.quads, ref.theta0, sample.k_bend)
+        f += area_volume_forces(
+            batch, ref.faces, ref.area0, ref.volume0,
+            sample.k_area, sample.k_volume,
+        )
+        return f
+
+    def membrane_force_batches(self):
+        """Yield ``(cells, (B, V, 3) forces)`` per group, packed order.
+
+        This is the no-dict-hop path: each group's batched force array is
+        produced once and consumed group-wise, without splitting it into
+        per-cell dictionary entries.
+        """
+        p = self._packed_cache()
+        for group, slots, _, _ in p.segments:
+            yield group.cells, self._group_membrane_forces(group, slots)
+
     def membrane_forces(self) -> dict[int, np.ndarray]:
         """Batched membrane forces for every cell, keyed by global ID [N]."""
         out: dict[int, np.ndarray] = {}
-        for group in self._groups.values():
-            if not group.cells:
-                continue
-            ref = group.reference
-            sample = group.cells[0]
-            batch = group.pool.batch(group.slots)  # (B, V, 3)
-            f = skalak_forces(batch, ref, sample.shear_modulus, sample.skalak_C)
-            f += bending_forces(batch, ref.quads, ref.theta0, sample.k_bend)
-            f += area_volume_forces(
-                batch, ref.faces, ref.area0, ref.volume0,
-                sample.k_area, sample.k_volume,
-            )
-            for cell, fi in zip(group.cells, f):
+        for cells, f in self.membrane_force_batches():
+            for cell, fi in zip(cells, f):
                 out[cell.global_id] = fi
         return out
 
     def total_forces(self) -> tuple[np.ndarray, np.ndarray, list[Cell]]:
-        """Membrane + contact forces aligned with :meth:`all_vertices`."""
+        """Membrane + contact forces aligned with :meth:`all_vertices`.
+
+        Returns the manager-owned packed force and vertex arrays (see
+        :meth:`packed_vertices` for the ownership contract).
+        """
         from .contact import contact_forces  # deferred: scipy import cost
 
-        verts, ordinals, cells = self.all_vertices()
-        if len(cells) == 0:
-            return np.empty((0, 3)), verts, cells
-        membrane = self.membrane_forces()
-        forces = np.vstack([membrane[c.global_id] for c in cells])
-        forces += contact_forces(
-            verts, ordinals, self.contact_cutoff, self.contact_stiffness
+        p = self._refresh_packed_vertices()
+        if not p.cells:
+            return np.empty((0, 3)), p.verts, []
+        for group, slots, start, stop in p.segments:
+            f = self._group_membrane_forces(group, slots)
+            p.forces[start:stop] = f.reshape(-1, 3)
+        p.forces += contact_forces(
+            p.verts, p.ordinals, self.contact_cutoff, self.contact_stiffness
         )
-        return forces, verts, cells
+        return p.forces, p.verts, p.cells
 
     def update_vertices(self, displacements: np.ndarray) -> None:
         """Advect all vertices by stacked displacements (same ordering)."""
-        offset = 0
-        for group in self._groups.values():
-            for cell in group.cells:
-                nv = len(cell.vertices)
-                cell.vertices += displacements[offset : offset + nv]
-                offset += nv
-        if offset != len(displacements):
+        p = self._packed_cache()
+        if len(displacements) != p.verts.shape[0]:
             raise ValueError("displacement array does not match vertex count")
+        for group, slots, start, stop in p.segments:
+            group.pool.scatter_add(
+                slots, displacements[start:stop].reshape(len(slots), -1, 3)
+            )
+
+    def set_velocities(self, velocities: np.ndarray) -> None:
+        """Assign per-vertex velocities (packed ordering) onto the cells.
+
+        Cells receive ``np.split`` views into ``velocities``; the caller
+        must hand over ownership of the array (the stepper passes a fresh
+        physical-velocity array every step).
+        """
+        p = self._packed_cache()
+        if len(velocities) != p.verts.shape[0]:
+            raise ValueError("velocity array does not match vertex count")
+        if not p.cells:
+            return
+        for cell, v in zip(p.cells, np.split(velocities, p.splits)):
+            cell.velocities = v

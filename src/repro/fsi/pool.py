@@ -73,11 +73,27 @@ class VertexPool:
 
     def batch(self, slots: list[int]) -> np.ndarray:
         """Gather the given slots into a contiguous (B, V, 3) batch (copy)."""
-        return self._data[np.asarray(slots, dtype=np.intp)]
+        return self.gather(slots)
+
+    def gather(self, slots, out: np.ndarray | None = None) -> np.ndarray:
+        """Gather slots into a (B, V, 3) batch, into ``out`` when given."""
+        idx = np.asarray(slots, dtype=np.intp)
+        if out is None:
+            return self._data[idx]
+        np.take(self._data, idx, axis=0, out=out)
+        return out
 
     def write_batch(self, slots: list[int], values: np.ndarray) -> None:
         """Scatter a (B, V, 3) batch back into the pool."""
         self._data[np.asarray(slots, dtype=np.intp)] = values
+
+    def scatter_add(self, slots, values: np.ndarray) -> None:
+        """Add a (B, V, 3) batch into the pool slots (one vectorized op).
+
+        Slot ids must be unique (they always are for one group), so the
+        fancy-indexed in-place add touches each block exactly once.
+        """
+        self._data[np.asarray(slots, dtype=np.intp)] += values
 
     def _grow(self) -> None:
         old = self._data

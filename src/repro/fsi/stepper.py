@@ -81,6 +81,12 @@ class FSIStepper:
                 [units.force_density_to_lattice(f) for f in body_force]
             )
         self.step_count = 0
+        # Packed vertex snapshot shared between the pre-collision spread
+        # and the post-stream interpolation of one step: positions do not
+        # change in between, so the IBM stencil is computed exactly once.
+        self._step_verts: np.ndarray | None = None
+        self._step_cells = None
+        self._step_generation = -1
 
     # ------------------------------------------------------------------
     def step(self, n: int = 1) -> None:
@@ -98,10 +104,12 @@ class FSIStepper:
             tel = get_telemetry()
         g = self.grid
         g.force[:] = self.body_force_lattice[:, None, None, None]
+        self._step_verts = None
+        self._step_cells = None
         if self.cells.n_cells == 0:
             return
         with tel.phase("forces"):
-            forces, verts, _ = self.cells.total_forces()
+            forces, verts, cells = self.cells.total_forces()
             if self.wall_geometry is not None:
                 from .walls import wall_repulsion_forces
 
@@ -110,7 +118,11 @@ class FSIStepper:
                 )
             forces_lat = forces * self.units.force_to_lattice(1.0)
         with tel.phase("spread"):
+            self.coupler.begin_step(verts)
             self.coupler.spread_forces(verts, forces_lat)
+        self._step_verts = verts
+        self._step_cells = cells
+        self._step_generation = self.cells.generation
 
     def _advect_cells(self, tel=None) -> None:
         if self.cells.n_cells == 0:
@@ -118,22 +130,26 @@ class FSIStepper:
         if tel is None:
             tel = get_telemetry()
         with tel.phase("advect"):
-            _, u = self.solver.macroscopic()
-            verts, _, cells = self.cells.all_vertices()
+            u = self.solver.velocity()
+            verts = self._step_verts
+            if verts is None or self._step_generation != self.cells.generation:
+                # Population changed since the spread (or spread was
+                # skipped): rebuild the snapshot and drop the stencil.
+                self.coupler.end_step()
+                verts, _, _ = self.cells.packed_vertices()
             v_lat = self.coupler.interpolate_velocity(verts, u)
+            # Vertices move now — the cached stencil must not outlive them.
+            self.coupler.end_step()
+            self._step_verts = None
+            self._step_cells = None
             # One lattice time step: dx_lat = u_lat * 1, physical = u_lat * dx.
             self.cells.update_vertices(v_lat * self.units.dx)
-            offset = 0
-            v_phys = v_lat * (self.units.dx / self.units.dt)
-            for cell in cells:
-                nv = len(cell.vertices)
-                cell.velocities = v_phys[offset : offset + nv]
-                offset += nv
+            self.cells.set_velocities(v_lat * (self.units.dx / self.units.dt))
 
     # ------------------------------------------------------------------
     def fluid_velocity(self) -> np.ndarray:
         """Physical velocity field (3, nx, ny, nz) [m/s]."""
-        _, u = self.solver.macroscopic()
+        u = self.solver.velocity()
         return u * (self.units.dx / self.units.dt)
 
     def pressure_drop(self, axis: int = 2) -> float:

@@ -9,7 +9,15 @@ ablation benchmark.
 """
 
 from .kernels import cosine4, peskin4, linear2, KERNELS, DeltaKernel
-from .coupling import interpolate, spread, IBMCoupler
+from .coupling import (
+    IBMCoupler,
+    Stencil,
+    interpolate,
+    interpolate_with_stencil,
+    make_stencil,
+    spread,
+    spread_with_stencil,
+)
 
 __all__ = [
     "cosine4",
@@ -20,4 +28,8 @@ __all__ = [
     "interpolate",
     "spread",
     "IBMCoupler",
+    "Stencil",
+    "make_stencil",
+    "interpolate_with_stencil",
+    "spread_with_stencil",
 ]

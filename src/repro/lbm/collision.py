@@ -9,6 +9,12 @@ second-order-accurate discretization of the external force field F_i in
 Eq. 1.  The macroscopic velocity includes the half-force correction
 ``u = (sum_i c_i f_i + F/2) / rho`` so that the scheme recovers the forced
 Navier-Stokes equations without discrete lattice artifacts.
+
+Allocation discipline: every kernel accepts optional ``out``/scratch
+buffers (bundled in :class:`CollisionScratch`) so the solver's per-step
+hot path performs O(1) large allocations.  Without scratch the functions
+allocate as before — same values either way (the in-place paths mirror
+the original elementary operations, so results agree to round-off).
 """
 
 from __future__ import annotations
@@ -16,6 +22,78 @@ from __future__ import annotations
 import numpy as np
 
 from .lattice import D3Q19
+
+#: Lattice velocity matrices as floats, laid out for BLAS matmul.
+_C = np.ascontiguousarray(D3Q19.c.astype(np.float64))        # (Q, 3)
+_CT = np.ascontiguousarray(D3Q19.c.T.astype(np.float64))     # (3, Q)
+
+
+class CollisionScratch:
+    """Preallocated per-lattice temporaries for the collide hot path.
+
+    One instance per :class:`~repro.lbm.grid.Grid` shape; handing it to
+    :func:`collide_bgk` removes all full-lattice allocations from the
+    collision step.
+    """
+
+    def __init__(self, shape: tuple[int, int, int]):
+        q = D3Q19.Q
+        self.shape = tuple(shape)
+        self.rho = np.empty(shape, dtype=np.float64)
+        self.mom = np.empty((3,) + tuple(shape), dtype=np.float64)
+        self.u = np.empty((3,) + tuple(shape), dtype=np.float64)
+        self.den = np.empty(shape, dtype=np.float64)
+        self.usq = np.empty(shape, dtype=np.float64)
+        self.uF = np.empty(shape, dtype=np.float64)
+        self.cu = np.empty((q,) + tuple(shape), dtype=np.float64)
+        self.cF = np.empty((q,) + tuple(shape), dtype=np.float64)
+        self.feq = np.empty((q,) + tuple(shape), dtype=np.float64)
+        self.src = np.empty((q,) + tuple(shape), dtype=np.float64)
+
+
+def moments(
+    f: np.ndarray,
+    out_rho: np.ndarray | None = None,
+    out_mom: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Density and bare momentum (no force shift) of the distributions."""
+    if out_rho is None:
+        rho = f.sum(axis=0)
+    else:
+        rho = np.sum(f, axis=0, out=out_rho)
+    if out_mom is None:
+        # momentum = sum_i c_i f_i, via BLAS-backed tensordot.
+        mom = np.tensordot(_CT, f, axes=([1], [0]))
+    else:
+        np.matmul(_CT, f.reshape(D3Q19.Q, -1), out=out_mom.reshape(3, -1))
+        mom = out_mom
+    return rho, mom
+
+
+def velocity_from_moments(
+    rho: np.ndarray,
+    mom: np.ndarray,
+    force: np.ndarray | None = None,
+    out: np.ndarray | None = None,
+    den: np.ndarray | None = None,
+) -> np.ndarray:
+    """Velocity ``u = (mom + F/2) / rho`` with the Guo half-force shift.
+
+    ``mom`` is preserved unless passed as ``out`` as well.
+    """
+    if out is None:
+        out = np.empty_like(mom)
+    if out is mom:
+        if force is not None:
+            out += 0.5 * force
+    elif force is not None:
+        np.multiply(force, 0.5, out=out)
+        out += mom
+    else:
+        out[:] = mom
+    den = np.maximum(rho, 1e-300, out=den)
+    out /= den
+    return out
 
 
 def macroscopic(
@@ -36,50 +114,92 @@ def macroscopic(
     rho : (nx, ny, nz)
     u : (3, nx, ny, nz)
     """
-    rho = f.sum(axis=0)
-    # momentum = sum_i c_i f_i, via BLAS-backed tensordot.
-    mom = np.tensordot(D3Q19.c.astype(np.float64).T, f, axes=([1], [0]))
-    if force is not None:
-        mom = mom + 0.5 * force
-    u = mom / np.maximum(rho, 1e-300)
+    rho, mom = moments(f)
+    u = velocity_from_moments(rho, mom, force, out=mom)
     return rho, u
 
 
-def equilibrium(rho: np.ndarray, u: np.ndarray) -> np.ndarray:
+def equilibrium(
+    rho: np.ndarray,
+    u: np.ndarray,
+    out: np.ndarray | None = None,
+    cu: np.ndarray | None = None,
+    usq: np.ndarray | None = None,
+) -> np.ndarray:
     """Maxwell-Boltzmann equilibrium distribution f_i^eq(rho, u).
 
     Second-order expansion in the lattice velocity:
     f_i^eq = w_i rho [1 + cu/cs2 + cu^2/(2 cs4) - u.u/(2 cs2)].
+
+    ``cu`` and ``usq`` are scratch buffers (destroyed when given);
+    ``out`` receives the result.
     """
     cs2 = D3Q19.cs2
-    # tensordot dispatches to BLAS and beats einsum on large lattices.
-    cu = np.tensordot(D3Q19.c.astype(np.float64), u, axes=([1], [0]))
-    usq = (u * u).sum(axis=0)
-    feq = cu / cs2
-    feq += cu**2 / (2.0 * cs2**2)
-    feq += 1.0 - usq[None] / (2.0 * cs2)
-    feq *= rho[None]
-    feq *= D3Q19.w[:, None, None, None]
-    return feq
+    if cu is None:
+        # tensordot dispatches to BLAS and beats einsum on large lattices.
+        cu = np.tensordot(_C, u, axes=([1], [0]))
+    else:
+        np.matmul(_C, u.reshape(3, -1), out=cu.reshape(D3Q19.Q, -1))
+    if usq is None:
+        usq = (u * u).sum(axis=0)
+    else:
+        np.einsum("dxyz,dxyz->xyz", u, u, out=usq)
+    if out is None:
+        out = np.empty_like(cu)
+    np.divide(cu, cs2, out=out)
+    np.multiply(cu, cu, out=cu)
+    cu /= 2.0 * cs2**2
+    out += cu
+    usq /= 2.0 * cs2
+    np.subtract(1.0, usq, out=usq)
+    out += usq[None]
+    out *= rho[None]
+    out *= D3Q19.w[:, None, None, None]
+    return out
 
 
 def guo_source(
-    u: np.ndarray, force: np.ndarray, tau: float | np.ndarray
+    u: np.ndarray,
+    force: np.ndarray,
+    tau: float | np.ndarray,
+    out: np.ndarray | None = None,
+    cu: np.ndarray | None = None,
+    cF: np.ndarray | None = None,
+    uF: np.ndarray | None = None,
 ) -> np.ndarray:
     """Guo forcing source term S_i = (1 - 1/(2 tau)) w_i [...] . F.
 
     ``tau`` may be a scalar or an (nx, ny, nz) field (variable-viscosity
-    bulk lattices use a per-node relaxation time).
+    bulk lattices use a per-node relaxation time).  ``cu``/``cF``/``uF``
+    are scratch buffers (destroyed when given).
     """
     cs2 = D3Q19.cs2
-    c = D3Q19.c.astype(np.float64)
-    cu = np.tensordot(c, u, axes=([1], [0]))
-    # (c_i - u)/cs2 . F
-    cF = np.tensordot(c, force, axes=([1], [0]))
-    uF = (u * force).sum(axis=0)
-    term = (cF - uF[None]) / cs2 + cu * cF / cs2**2
-    term *= (1.0 - 0.5 / tau) * D3Q19.w[:, None, None, None]
-    return term
+    if cu is None:
+        cu = np.tensordot(_C, u, axes=([1], [0]))
+    else:
+        np.matmul(_C, u.reshape(3, -1), out=cu.reshape(D3Q19.Q, -1))
+    if cF is None:
+        cF = np.tensordot(_C, force, axes=([1], [0]))
+    else:
+        np.matmul(_C, force.reshape(3, -1), out=cF.reshape(D3Q19.Q, -1))
+    if uF is None:
+        uF = (u * force).sum(axis=0)
+    else:
+        np.einsum("dxyz,dxyz->xyz", u, force, out=uF)
+    # (c_i - u)/cs2 . F  +  (c_i . u)(c_i . F)/cs2^2
+    if out is None:
+        out = np.empty_like(cu)
+    np.multiply(cu, cF, out=out)
+    out /= cs2**2
+    np.subtract(cF, uF[None], out=cF)
+    cF /= cs2
+    out += cF
+    if np.isscalar(tau) or np.ndim(tau) == 0:
+        out *= (1.0 - 0.5 / tau) * D3Q19.w[:, None, None, None]
+    else:
+        out *= 1.0 - 0.5 / tau
+        out *= D3Q19.w[:, None, None, None]
+    return out
 
 
 def collide_bgk(
@@ -87,6 +207,8 @@ def collide_bgk(
     tau: float | np.ndarray,
     force: np.ndarray | None = None,
     out: np.ndarray | None = None,
+    scratch: CollisionScratch | None = None,
+    moments_in: tuple[np.ndarray, np.ndarray] | None = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """One BGK collision step.
 
@@ -95,20 +217,41 @@ def collide_bgk(
     bulk lattice uses to represent the effective-viscosity map (whole
     blood outside the window region, the window fluid inside it).
 
+    ``scratch`` supplies preallocated temporaries (zero full-lattice
+    allocations when both ``scratch`` and ``out`` are given);
+    ``moments_in`` lets the caller reuse cached post-stream ``(rho, mom)``
+    so the moment sums are not recomputed.
+
     Returns
     -------
     f_post : post-collision distributions (alias of ``out`` when given)
     rho, u : the pre-collision macroscopic fields used for the equilibrium
     """
-    rho, u = macroscopic(f, force)
-    feq = equilibrium(rho, u)
+    if moments_in is not None:
+        rho, mom = moments_in
+    elif scratch is not None:
+        rho, mom = moments(f, out_rho=scratch.rho, out_mom=scratch.mom)
+    else:
+        rho, mom = moments(f)
+    if scratch is not None:
+        u = velocity_from_moments(rho, mom, force, out=scratch.u, den=scratch.den)
+        feq = equilibrium(rho, u, out=scratch.feq, cu=scratch.cu, usq=scratch.usq)
+    else:
+        u = velocity_from_moments(rho, mom, force)
+        feq = equilibrium(rho, u)
     if out is None:
         out = np.empty_like(f)
     np.subtract(f, feq, out=out)
     out *= 1.0 - 1.0 / tau
     out += feq
     if force is not None:
-        out += guo_source(u, force, tau)
+        if scratch is not None:
+            out += guo_source(
+                u, force, tau,
+                out=scratch.src, cu=scratch.cu, cF=scratch.cF, uF=scratch.uF,
+            )
+        else:
+            out += guo_source(u, force, tau)
     return out, rho, u
 
 

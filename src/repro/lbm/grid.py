@@ -56,6 +56,9 @@ class Grid:
         self.solid = np.zeros(self.shape, dtype=bool)
         #: Body-force density per node (3, nx, ny, nz), lattice units.
         self.force = np.zeros((3, nx, ny, nz), dtype=np.float64)
+        #: Monotonic counter bumped whenever ``f`` changes; consumers
+        #: (the solver's moments cache) key derived state on it.
+        self.f_version = 0
         self.init_equilibrium()
 
     # ------------------------------------------------------------------
@@ -72,6 +75,17 @@ class Grid:
         else:
             u = np.broadcast_to(np.asarray(velocity, float), (3, nx, ny, nz))
         self.f[:] = equilibrium(rho_arr, u)
+        self.mark_f_modified()
+
+    def mark_f_modified(self) -> None:
+        """Record an external write to ``f`` (invalidates cached moments).
+
+        The solver bumps the version itself after each stream; any other
+        code that writes ``f`` in place (refinement coupling, checkpoint
+        restore, tests) must call this so cached macroscopic state is
+        recomputed.
+        """
+        self.f_version += 1
 
     # ------------------------------------------------------------------
     @property

@@ -4,6 +4,15 @@
 list of boundary handlers.  It is the building block both for the coarse
 bulk solver and for the fine window solver (which additionally runs the
 immersed-boundary fluid-structure interaction; see :mod:`repro.fsi`).
+
+The solver keeps a :class:`~repro.lbm.collision.CollisionScratch` so the
+collide-stream loop performs O(1) large allocations, and caches the
+post-stream density/momentum moments keyed on ``grid.f_version``: the
+moments computed for cell advection (post-stream) are the same moments
+the next collision needs, so one FSI step pays for the 19-population
+moment sums exactly once.  Code that writes ``grid.f`` outside the solver
+must call :meth:`~repro.lbm.grid.Grid.mark_f_modified` (all in-repo
+writers do).
 """
 
 from __future__ import annotations
@@ -12,7 +21,12 @@ from typing import Callable, Protocol, Sequence
 
 import numpy as np
 
-from .collision import collide_bgk, macroscopic
+from .collision import (
+    CollisionScratch,
+    collide_bgk,
+    moments,
+    velocity_from_moments,
+)
 from .grid import Grid
 from .streaming import stream_pull
 
@@ -57,6 +71,22 @@ class LBMSolver:
         # Last macroscopic fields, refreshed each step (pre-collision values).
         self.rho = np.ones(grid.shape)
         self.u = np.zeros((3,) + grid.shape)
+        self._scratch = CollisionScratch(grid.shape)
+        #: ``grid.f_version`` the cached (rho, mom) moments belong to.
+        self._moments_version: int | None = None
+
+    # ------------------------------------------------------------------
+    def _moments(self) -> tuple[np.ndarray, np.ndarray]:
+        """Cached density/momentum moments of the current ``grid.f``."""
+        g = self.grid
+        if self._moments_version != g.f_version:
+            moments(g.f, out_rho=self._scratch.rho, out_mom=self._scratch.mom)
+            self._moments_version = g.f_version
+        return self._scratch.rho, self._scratch.mom
+
+    def invalidate_macroscopic(self) -> None:
+        """Drop the cached moments (after an untracked ``grid.f`` write)."""
+        self._moments_version = None
 
     def _collide(self):
         g = self.grid
@@ -69,7 +99,11 @@ class LBMSolver:
             from .mrt import collide_mrt
 
             return collide_mrt(g.f, float(g.tau), out=g.f_post)
-        return collide_bgk(g.f, g.tau, g.force, out=g.f_post)
+        rho, mom = self._moments()
+        return collide_bgk(
+            g.f, g.tau, g.force,
+            out=g.f_post, scratch=self._scratch, moments_in=(rho, mom),
+        )
 
     def step(self, n: int = 1) -> None:
         """Advance the lattice by ``n`` time steps."""
@@ -81,19 +115,29 @@ class LBMSolver:
             stream_pull(f_post, out=g.f)
             for bc in self.boundaries:
                 bc.apply(g.f, f_post)
+            g.f_version += 1
             self.step_count += 1
 
     def macroscopic(self) -> tuple[np.ndarray, np.ndarray]:
-        """Current density and velocity (with half-force correction)."""
-        return macroscopic(self.grid.f, self.grid.force)
+        """Current density and velocity (with half-force correction).
+
+        Served from the cached moments when ``grid.f`` is unchanged; the
+        returned arrays are fresh copies the caller may keep.
+        """
+        rho, mom = self._moments()
+        u = velocity_from_moments(rho, mom, self.grid.force)
+        return rho.copy(), u
+
+    def velocity(self) -> np.ndarray:
+        """Current velocity field only (cheaper than :meth:`macroscopic`)."""
+        rho, mom = self._moments()
+        return velocity_from_moments(rho, mom, self.grid.force)
 
     def momentum(self) -> np.ndarray:
         """Total fluid momentum over non-solid nodes (diagnostics)."""
         rho, u = self.macroscopic()
-        fluid = ~self.grid.solid
-        return np.array(
-            [np.sum((rho * u[d])[fluid]) for d in range(3)]
-        )
+        weights = np.where(self.grid.solid, 0.0, rho)
+        return np.tensordot(u, weights, axes=([1, 2, 3], [0, 1, 2]))
 
     def mass(self) -> float:
         """Total fluid mass over non-solid nodes (diagnostics)."""

@@ -2,9 +2,14 @@
 
 Pull scheme: after collision, each node pulls the population travelling in
 direction ``c_i`` from its upwind neighbor ``x - c_i``.  The base operation
-is periodic (``np.roll``); boundary handlers (bounce-back walls, inlets,
-outlets) then overwrite the populations that wrapped around or crossed a
-solid boundary.
+is periodic; boundary handlers (bounce-back walls, inlets, outlets) then
+overwrite the populations that wrapped around or crossed a solid boundary.
+
+The periodic shift is performed with direct slice-slab copies into the
+destination array: a shift by +/-1 along one axis decomposes into a bulk
+slab plus a wrapped face, so a full D3Q19 stream is at most 8 assignments
+per direction and allocates nothing (``np.roll`` would build a fresh
+full-lattice temporary for each of the 19 directions).
 """
 
 from __future__ import annotations
@@ -12,6 +17,46 @@ from __future__ import annotations
 import numpy as np
 
 from .lattice import D3Q19
+
+
+def _axis_segments(shift: int):
+    """(dst, src) slice pairs realizing a periodic shift along one axis.
+
+    Shape-independent because D3Q19 shifts are only -1/0/+1: the bulk slab
+    and the single wrapped face are expressible with relative slices.
+    """
+    if shift == 0:
+        return ((slice(None), slice(None)),)
+    if shift == 1:
+        return (
+            (slice(1, None), slice(None, -1)),
+            (slice(0, 1), slice(-1, None)),
+        )
+    if shift == -1:
+        return (
+            (slice(None, -1), slice(1, None)),
+            (slice(-1, None), slice(0, 1)),
+        )
+    raise ValueError(f"unsupported shift {shift}")
+
+
+def _build_segments():
+    segments = []
+    for i in range(D3Q19.Q):
+        cx, cy, cz = (int(v) for v in D3Q19.c[i])
+        per_dir = []
+        for sx_dst, sx_src in _axis_segments(cx):
+            for sy_dst, sy_src in _axis_segments(cy):
+                for sz_dst, sz_src in _axis_segments(cz):
+                    per_dir.append(
+                        ((sx_dst, sy_dst, sz_dst), (sx_src, sy_src, sz_src))
+                    )
+        segments.append(tuple(per_dir))
+    return tuple(segments)
+
+
+#: Per-direction (dst, src) slice tuples for the pull stream.
+_STREAM_SEGMENTS = _build_segments()
 
 
 def stream_pull(f_post: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
@@ -28,9 +73,11 @@ def stream_pull(f_post: np.ndarray, out: np.ndarray | None = None) -> np.ndarray
         out = np.empty_like(f_post)
     if out is f_post:
         raise ValueError("streaming cannot be done in place")
-    for i in range(D3Q19.Q):
-        cx, cy, cz = D3Q19.c[i]
-        out[i] = np.roll(f_post[i], shift=(cx, cy, cz), axis=(0, 1, 2))
+    for i, segments in enumerate(_STREAM_SEGMENTS):
+        src_i = f_post[i]
+        dst_i = out[i]
+        for dst, src in segments:
+            dst_i[dst] = src_i[src]
     return out
 
 
