@@ -9,7 +9,7 @@ velocity/pressure boundary conditions.
 from .lattice import D3Q19
 from .grid import Grid
 from .collision import collide_bgk, equilibrium, macroscopic
-from .streaming import stream_pull
+from .streaming import stream_pull, stream_pull_padded
 from .boundaries import (
     BounceBackWalls,
     VelocityInlet,
@@ -26,6 +26,7 @@ __all__ = [
     "equilibrium",
     "macroscopic",
     "stream_pull",
+    "stream_pull_padded",
     "BounceBackWalls",
     "VelocityInlet",
     "OutflowOutlet",

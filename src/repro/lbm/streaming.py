@@ -59,6 +59,28 @@ def _build_segments():
 _STREAM_SEGMENTS = _build_segments()
 
 
+def _padded_axis_slice(shift: int) -> slice:
+    """Source slice selecting ``x - shift`` for interior x of a padded axis."""
+    hi = -1 - shift
+    return slice(1 - shift, hi if hi != 0 else None)
+
+
+def _build_padded_segments():
+    segments = []
+    for i in range(D3Q19.Q):
+        segments.append(
+            tuple(_padded_axis_slice(int(v)) for v in D3Q19.c[i])
+        )
+    return tuple(segments)
+
+
+#: Per-direction source slices for the halo-padded pull stream.
+_PADDED_SEGMENTS = _build_padded_segments()
+
+#: Interior region of a one-node-padded block.
+_INTERIOR = (slice(1, -1), slice(1, -1), slice(1, -1))
+
+
 def stream_pull(f_post: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
     """Periodic pull streaming: out_i(x) = f_post_i(x - c_i).
 
@@ -78,6 +100,23 @@ def stream_pull(f_post: np.ndarray, out: np.ndarray | None = None) -> np.ndarray
         dst_i = out[i]
         for dst, src in segments:
             dst_i[dst] = src_i[src]
+    return out
+
+
+def stream_pull_padded(f_post: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """Pull streaming for a one-node-padded local block (halo runtime).
+
+    Writes only the *interior* of ``out``: ``out_i(x) = f_post_i(x - c_i)``
+    for interior x, with sources drawn from the padded ``f_post`` (interior
+    plus halo rim).  No periodic wrap is applied — the halo exchange has
+    already placed the wrapped/neighbor values in the rim — so each of the
+    19 directions is a single precomputed slice-slab copy, the same
+    mechanism (and allocation discipline) as :func:`stream_pull`.
+    """
+    if out is f_post:
+        raise ValueError("streaming cannot be done in place")
+    for i, src in enumerate(_PADDED_SEGMENTS):
+        out[i][_INTERIOR] = f_post[i][src]
     return out
 
 

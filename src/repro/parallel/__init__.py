@@ -1,24 +1,55 @@
-"""Virtual parallel runtime (substitute for Summit's MPI execution).
+"""Parallel LBM runtime (in-process stand-in for Summit's MPI execution).
 
 The paper runs HARVEY on Summit with 42 MPI tasks per node (36 CPU bulk
 tasks + 6 GPU window tasks).  This package reproduces the *parallel
-structure* in-process: a block domain decomposition with D3Q19 halo
-exchange, a distributed LBM solver that is bit-identical to the
-single-grid solver, per-task byte/message accounting, and the CPU/GPU
-task-mapping rules — the measured communication volumes feed the scaling
-model of :mod:`repro.perfmodel` (Figs. 7-8).
+structure* and — since the executor backends landed — actually executes
+it: a block domain decomposition with D3Q19 halo handling, a distributed
+LBM solver that is bit-identical to the single-grid solver and steps its
+ranks concurrently under a ``serial`` | ``threads`` | ``processes``
+executor (persistent shared-memory worker pool), per-task byte/message
+accounting, the paper's halo *recompute* mode, and the CPU/GPU
+task-mapping rules.  Measured communication volumes and wall-clock
+throughput feed the scaling analysis of :mod:`repro.perfmodel`
+(Figs. 7-8); see ``docs/parallel_and_models.md``.
 """
 
 from .decomposition import BlockDecomposition, balanced_dims
-from .halo import HaloAccountant
-from .distributed import DistributedLBMSolver
+from .halo import CommCounters, HaloAccountant, fill_rank_halo
+from .executor import (
+    BACKENDS,
+    ProcessExecutor,
+    RankBlocks,
+    SerialExecutor,
+    ThreadExecutor,
+    make_executor,
+    resolve_backend,
+)
+from .distributed import HALO_MODES, DistributedLBMSolver
+from .measure import (
+    measure_throughput,
+    measured_scaling_curve,
+    measured_weak_scaling,
+)
 from .taskmap import TaskMap, summit_task_map
 
 __all__ = [
+    "BACKENDS",
+    "HALO_MODES",
     "BlockDecomposition",
     "balanced_dims",
+    "CommCounters",
     "HaloAccountant",
+    "fill_rank_halo",
+    "RankBlocks",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "make_executor",
+    "resolve_backend",
     "DistributedLBMSolver",
+    "measure_throughput",
+    "measured_scaling_curve",
+    "measured_weak_scaling",
     "TaskMap",
     "summit_task_map",
 ]

@@ -1,22 +1,36 @@
-"""Distributed LBM solver over the virtual parallel runtime.
+"""Distributed LBM solver over the parallel rank runtime.
 
 Each rank owns a block of the global lattice in a one-node-padded local
-array; a step is collide -> halo exchange (post-collision populations) ->
-local pull streaming.  For a fully periodic lattice this reproduces the
-single-grid solver bit-for-bit (asserted in the test suite), while the
-:class:`~repro.parallel.halo.HaloAccountant` counters measure exactly the
-communication volume a real MPI run would ship — the quantity the
-strong-scaling breakdown of Fig. 7 hinges on.
+array; a step is three barrier-separated rank-parallel phases run by an
+executor backend (``serial`` | ``threads`` | ``processes``; see
+:mod:`repro.parallel.executor`).  Two halo modes realize the same step:
+
+* ``exchange``  — collide, then ship post-collision halo layers from
+  neighbors (the classic exchange the original virtual runtime did);
+* ``recompute`` — pre-exchange the *pre-collision* ``f`` rim, then
+  redundantly collide the one-node ghost rim locally (the paper's
+  Section 2.4.4 recompute-instead-of-communicate trick: trade a sliver
+  of duplicate flops for never shipping post-collision data).
+
+For a fully periodic lattice every backend × halo-mode combination
+reproduces the single-grid solver bit-for-bit (asserted in the test
+suite), and the :class:`~repro.parallel.halo.HaloAccountant` counters
+measure exactly the communication volume a real MPI run would ship —
+the quantity the strong-scaling breakdown of Fig. 7 hinges on.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..lbm.collision import collide_bgk
 from ..lbm.lattice import D3Q19
+from ..telemetry import get_telemetry
 from .decomposition import BlockDecomposition
+from .executor import RankBlocks, make_executor, resolve_backend
 from .halo import HaloAccountant
+
+#: Supported halo handling modes.
+HALO_MODES = ("exchange", "recompute")
 
 
 class DistributedLBMSolver:
@@ -29,21 +43,63 @@ class DistributedLBMSolver:
     tau:
         Uniform relaxation time.
     n_tasks:
-        Number of virtual ranks.
+        Number of ranks (subdomains).
+    backend:
+        ``"serial"``, ``"threads"`` or ``"processes"``; ``None`` reads
+        ``REPRO_PARALLEL_BACKEND`` (default ``serial``).
+    n_workers:
+        Worker count for the pooled backends; ``None`` reads
+        ``REPRO_PARALLEL_WORKERS`` (default: one per CPU), capped at
+        ``n_tasks``.
+    halo_mode:
+        ``"exchange"`` (ship post-collision halos) or ``"recompute"``
+        (pre-exchange ``f`` and redundantly collide the ghost rim).
+
+    The processes backend holds OS resources (worker processes and
+    shared-memory segments): call :meth:`close` when done, or use the
+    solver as a context manager.  A GC finalizer cleans up as a safety
+    net.
     """
 
-    def __init__(self, shape: tuple[int, int, int], tau: float, n_tasks: int):
+    def __init__(
+        self,
+        shape: tuple[int, int, int],
+        tau: float,
+        n_tasks: int,
+        backend: str | None = None,
+        n_workers: int | None = None,
+        halo_mode: str = "exchange",
+    ):
         self.shape = tuple(shape)
         self.tau = float(tau)
+        if halo_mode not in HALO_MODES:
+            raise ValueError(
+                f"unknown halo_mode {halo_mode!r}; pick one of {HALO_MODES}"
+            )
+        self.halo_mode = halo_mode
         self.decomp = BlockDecomposition(shape, n_tasks)
         self.halo = HaloAccountant(self.decomp)
-        self.locals: list[np.ndarray] = []
-        self._scratch: list[np.ndarray] = []
-        for rank in range(n_tasks):
-            lx, ly, lz = self.decomp.local_shape(rank)
-            self.locals.append(np.zeros((D3Q19.Q, lx + 2, ly + 2, lz + 2)))
-            self._scratch.append(np.zeros_like(self.locals[-1]))
+        self.backend, self.n_workers = resolve_backend(
+            backend, n_workers, n_tasks
+        )
+        self.blocks = RankBlocks(
+            self.decomp, shared=(self.backend == "processes")
+        )
+        #: Per-rank padded local arrays (kept name-compatible with the
+        #: original virtual runtime; shared-memory views under processes).
+        self.locals = self.blocks.f
+        self._scratch = self.blocks.post
+        self.executor = make_executor(
+            self.backend, self.blocks, self.tau, self.n_workers
+        )
         self.step_count = 0
+        self._steps_at_reset = 0
+        self.last_step_bytes = 0
+        self.last_step_messages = 0
+        #: Cumulative per-rank wall seconds by phase name.
+        self.rank_phase_seconds: dict[str, dict[int, float]] = {
+            "collide": {}, "halo": {}, "stream": {},
+        }
 
     # ------------------------------------------------------------------
     def scatter(self, f_global: np.ndarray) -> None:
@@ -67,31 +123,74 @@ class DistributedLBMSolver:
         return out
 
     # ------------------------------------------------------------------
+    def _accumulate(self, phase: str, seconds_by_rank: dict[int, float]) -> None:
+        acc = self.rank_phase_seconds[phase]
+        for rank, dt in seconds_by_rank.items():
+            acc[rank] = acc.get(rank, 0.0) + dt
+
     def step(self, n: int = 1) -> None:
+        """Advance the lattice by ``n`` time steps."""
+        tel = get_telemetry()
+        ex = self.executor
         for _ in range(n):
-            # Collide locally (interior only; halos are stale pre-exchange).
-            for rank, arr in enumerate(self.locals):
-                interior = arr[:, 1:-1, 1:-1, 1:-1]
-                post, _, _ = collide_bgk(np.ascontiguousarray(interior), self.tau)
-                self._scratch[rank][:, 1:-1, 1:-1, 1:-1] = post
-            # Ship post-collision halos.
-            self.halo.exchange(self._scratch)
-            # Pull-stream from the padded arrays.
-            for rank, post in enumerate(self._scratch):
-                arr = self.locals[rank]
-                for q in range(D3Q19.Q):
-                    cx, cy, cz = D3Q19.c[q]
-                    arr[q, 1:-1, 1:-1, 1:-1] = post[
-                        q,
-                        1 - cx : post.shape[1] - 1 - cx,
-                        1 - cy : post.shape[2] - 1 - cy,
-                        1 - cz : post.shape[3] - 1 - cz,
-                    ]
+            if self.halo_mode == "recompute":
+                # Pre-exchange f, then collide interior + ghost rim: the
+                # rim's post-collision values are recomputed locally
+                # instead of communicated (pointwise collide makes them
+                # bit-identical to the neighbor's own results).
+                with tel.phase("dist/halo"):
+                    res_halo = ex.run_phase("halo_f")
+                with tel.phase("dist/collide"):
+                    res_collide = ex.run_phase("collide")
+            else:
+                with tel.phase("dist/collide"):
+                    res_collide = ex.run_phase("collide")
+                with tel.phase("dist/halo"):
+                    res_halo = ex.run_phase("halo_post")
+            with tel.phase("dist/stream"):
+                res_stream = ex.run_phase("stream")
+
+            self.halo.record(res_halo.transfers)
+            self.last_step_bytes = res_halo.bytes_sent
+            self.last_step_messages = res_halo.messages
+            tel.inc("comm.bytes_sent", res_halo.bytes_sent)
+            tel.inc("comm.messages", res_halo.messages)
+            self._accumulate("collide", res_collide.seconds_by_rank)
+            self._accumulate("halo", res_halo.seconds_by_rank)
+            self._accumulate("stream", res_stream.seconds_by_rank)
             self.step_count += 1
 
     # ------------------------------------------------------------------
     def bytes_per_step(self) -> float:
-        """Average bytes shipped per step so far (all ranks combined)."""
-        if self.step_count == 0:
+        """Average bytes shipped per step since the last counter reset."""
+        steps = self.step_count - self._steps_at_reset
+        if steps == 0:
             return 0.0
-        return self.halo.counters.bytes_sent / self.step_count
+        return self.halo.counters.bytes_sent / steps
+
+    def reset_counters(self) -> None:
+        """Zero comm counters and per-rank timers for a new bench phase.
+
+        ``bytes_per_step`` then averages over the steps taken *after*
+        this call, so one solver can be reused across phases without
+        earlier traffic polluting later readings.
+        """
+        self.halo.reset()
+        self._steps_at_reset = self.step_count
+        self.last_step_bytes = 0
+        self.last_step_messages = 0
+        for acc in self.rank_phase_seconds.values():
+            acc.clear()
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut down the worker pool and release shared memory."""
+        self.executor.close()
+        self.blocks.close()
+
+    def __enter__(self) -> "DistributedLBMSolver":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False

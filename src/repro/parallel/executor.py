@@ -1,0 +1,443 @@
+"""Executor backends for the block-decomposed LBM runtime.
+
+The distributed step is three rank-parallel phases with a barrier after
+each one:
+
+* ``collide``    — BGK-collide each rank's full padded block (reads own
+  ``f``, writes own ``post``);
+* ``halo_f`` / ``halo_post`` — fill each rank's halo rim from its
+  neighbors' interiors (reads neighbor interiors, writes own rim);
+* ``stream``     — pull-stream each rank's interior from its padded
+  ``post`` (reads own ``post``, writes own ``f`` interior).
+
+Every phase is race-free across ranks (disjoint write sets, and reads
+never overlap another rank's writes within a phase), so the same kernels
+run under three interchangeable backends:
+
+* ``serial``     — loop over ranks in the calling thread (the virtual
+  runtime; zero extra machinery);
+* ``threads``    — a persistent :class:`~concurrent.futures.ThreadPoolExecutor`
+  over per-worker rank chunks (NumPy kernels release the GIL for large
+  copies/BLAS calls);
+* ``processes``  — a persistent ``multiprocessing`` worker pool pinned to
+  rank chunks for the life of the run, with every rank block living in a
+  :mod:`multiprocessing.shared_memory` segment so workers operate on the
+  *same* memory the parent scatters/gathers — the in-process analogue of
+  the paper's 36-CPU-tasks-per-node layout (Section 2.4.4).
+
+Backends are selected per solver or globally via the
+``REPRO_PARALLEL_BACKEND`` / ``REPRO_PARALLEL_WORKERS`` environment
+variables (used by CI to re-run the parallel suite under the processes
+backend).
+"""
+
+from __future__ import annotations
+
+import os
+import weakref
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from time import perf_counter
+
+import multiprocessing as mp
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from ..lbm.collision import CollisionScratch, collide_bgk
+from ..lbm.lattice import D3Q19
+from ..lbm.streaming import stream_pull_padded
+from .decomposition import BlockDecomposition
+from .halo import fill_rank_halo
+
+#: Supported executor backends, in increasing order of machinery.
+BACKENDS = ("serial", "threads", "processes")
+
+#: Step phases an executor can run (halo variant depends on the mode).
+PHASES = ("collide", "halo_f", "halo_post", "stream")
+
+
+def resolve_backend(
+    backend: str | None,
+    n_workers: int | None,
+    n_tasks: int,
+) -> tuple[str, int]:
+    """Resolve backend/worker-count requests against env and hardware.
+
+    ``None`` values fall back to ``REPRO_PARALLEL_BACKEND`` (default
+    ``serial``) and ``REPRO_PARALLEL_WORKERS`` (default: one worker per
+    CPU, capped at the rank count).
+    """
+    if backend is None:
+        backend = os.environ.get("REPRO_PARALLEL_BACKEND", "serial")
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; pick one of {BACKENDS}")
+    if n_workers is None:
+        env = os.environ.get("REPRO_PARALLEL_WORKERS")
+        n_workers = int(env) if env else (os.cpu_count() or 1)
+    n_workers = max(1, min(int(n_workers), n_tasks))
+    if backend == "serial":
+        n_workers = 1
+    return backend, n_workers
+
+
+# ----------------------------------------------------------------------
+# Rank block storage
+
+
+def _padded_shape(decomp: BlockDecomposition, rank: int) -> tuple[int, ...]:
+    lx, ly, lz = decomp.local_shape(rank)
+    return (D3Q19.Q, lx + 2, ly + 2, lz + 2)
+
+
+def _unlink_segments(segments: list) -> None:
+    for shm in segments:
+        try:
+            shm.close()
+        except BufferError:
+            # A live ndarray view still maps the buffer; unlinking below
+            # removes the name anyway and the OS frees the memory when
+            # the last mapping dies.
+            pass
+        try:
+            shm.unlink()
+        except FileNotFoundError:
+            pass
+
+
+class RankBlocks:
+    """Per-rank padded ``(f, post)`` arrays, optionally shared-memory backed.
+
+    Each rank's pair lives in one buffer of shape ``(2, Q, lx+2, ly+2,
+    lz+2)``: plain ndarrays for the serial/threads backends, a
+    :class:`~multiprocessing.shared_memory.SharedMemory` segment for the
+    processes backend (workers attach by name and see the same bytes the
+    parent scatters into).  Segments are unlinked on :meth:`close` and,
+    as a safety net, by a GC finalizer.
+    """
+
+    def __init__(self, decomp: BlockDecomposition, shared: bool = False):
+        self.decomp = decomp
+        self.shared = bool(shared)
+        self.f: list[np.ndarray] = []
+        self.post: list[np.ndarray] = []
+        self.segment_names: list[str] | None = [] if shared else None
+        self._segments: list[shared_memory.SharedMemory] = []
+        for rank in range(decomp.n_tasks):
+            shape = (2,) + _padded_shape(decomp, rank)
+            if shared:
+                shm = shared_memory.SharedMemory(
+                    create=True, size=int(np.prod(shape)) * 8
+                )
+                self._segments.append(shm)
+                self.segment_names.append(shm.name)
+                pair = np.ndarray(shape, dtype=np.float64, buffer=shm.buf)
+                pair.fill(0.0)
+            else:
+                pair = np.zeros(shape, dtype=np.float64)
+            self.f.append(pair[0])
+            self.post.append(pair[1])
+        self._finalizer = weakref.finalize(
+            self, _unlink_segments, self._segments
+        )
+
+    def close(self) -> None:
+        """Release shared-memory segments (idempotent).
+
+        Clears the view lists *in place* so aliases (the solver's
+        ``locals``) drop their references too.
+        """
+        self.f.clear()
+        self.post.clear()
+        self._finalizer()
+
+
+# ----------------------------------------------------------------------
+# Rank-local kernels (shared by every backend and the worker processes)
+
+
+class ChunkRunner:
+    """Executes step phases for a fixed chunk of ranks.
+
+    Owns the collision scratch for its ranks (one
+    :class:`~repro.lbm.collision.CollisionScratch` per distinct padded
+    shape — chunks run their ranks sequentially, so scratch is reused
+    across same-shaped blocks without races).
+    """
+
+    def __init__(self, ranks: list[int], decomp: BlockDecomposition, tau: float):
+        self.ranks = list(ranks)
+        self.decomp = decomp
+        self.tau = float(tau)
+        self._scratch: dict[tuple[int, ...], CollisionScratch] = {}
+
+    def _scratch_for(self, shape: tuple[int, ...]) -> CollisionScratch:
+        sc = self._scratch.get(shape)
+        if sc is None:
+            sc = self._scratch[shape] = CollisionScratch(shape)
+        return sc
+
+    def run(
+        self,
+        phase: str,
+        f_arrs: list[np.ndarray],
+        post_arrs: list[np.ndarray],
+    ) -> tuple[dict[int, float], list[tuple[int, int]]]:
+        """Run one phase over the chunk's ranks.
+
+        Returns per-rank wall seconds and the halo transfer records
+        (empty for compute phases).
+        """
+        per_rank: dict[int, float] = {}
+        transfers: list[tuple[int, int]] = []
+        for r in self.ranks:
+            t0 = perf_counter()
+            if phase == "collide":
+                # Full padded block: the stale rim costs a sliver of
+                # redundant flops but keeps the arrays contiguous (no
+                # per-step ascontiguousarray copy).  In exchange mode the
+                # rim is overwritten by the halo fill; in recompute mode
+                # the rim was pre-exchanged, so colliding it *is* the
+                # paper's recompute-instead-of-communicate trick.
+                collide_bgk(
+                    f_arrs[r],
+                    self.tau,
+                    out=post_arrs[r],
+                    scratch=self._scratch_for(f_arrs[r].shape[1:]),
+                )
+            elif phase == "halo_f":
+                transfers.extend(fill_rank_halo(r, f_arrs, self.decomp))
+            elif phase == "halo_post":
+                transfers.extend(fill_rank_halo(r, post_arrs, self.decomp))
+            elif phase == "stream":
+                stream_pull_padded(post_arrs[r], out=f_arrs[r])
+            else:
+                raise ValueError(f"unknown phase {phase!r}")
+            per_rank[r] = perf_counter() - t0
+        return per_rank, transfers
+
+
+def _chunk_ranks(n_tasks: int, n_workers: int) -> list[list[int]]:
+    """Contiguous near-even rank chunks, one per worker."""
+    chunks: list[list[int]] = []
+    base, extra = divmod(n_tasks, n_workers)
+    start = 0
+    for w in range(n_workers):
+        size = base + (1 if w < extra else 0)
+        chunks.append(list(range(start, start + size)))
+        start += size
+    return [c for c in chunks if c]
+
+
+@dataclass
+class PhaseResult:
+    """Aggregated outcome of one rank-parallel phase."""
+
+    seconds_by_rank: dict[int, float] = field(default_factory=dict)
+    transfers: list[tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def bytes_sent(self) -> int:
+        return sum(b for _, b in self.transfers)
+
+    @property
+    def messages(self) -> int:
+        return len(self.transfers)
+
+
+# ----------------------------------------------------------------------
+# Executors
+
+
+class SerialExecutor:
+    """Runs every rank in the calling thread (the virtual runtime)."""
+
+    backend = "serial"
+
+    def __init__(self, blocks: RankBlocks, tau: float, n_workers: int = 1):
+        self.blocks = blocks
+        self.n_workers = 1
+        self._runner = ChunkRunner(
+            list(range(blocks.decomp.n_tasks)), blocks.decomp, tau
+        )
+
+    def run_phase(self, phase: str) -> PhaseResult:
+        per_rank, transfers = self._runner.run(
+            phase, self.blocks.f, self.blocks.post
+        )
+        return PhaseResult(per_rank, transfers)
+
+    def close(self) -> None:
+        pass
+
+
+class ThreadExecutor:
+    """Persistent thread pool over per-worker rank chunks."""
+
+    backend = "threads"
+
+    def __init__(self, blocks: RankBlocks, tau: float, n_workers: int):
+        self.blocks = blocks
+        self._runners = [
+            ChunkRunner(ranks, blocks.decomp, tau)
+            for ranks in _chunk_ranks(blocks.decomp.n_tasks, n_workers)
+        ]
+        self.n_workers = len(self._runners)
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.n_workers, thread_name_prefix="repro-rank"
+        )
+        self._finalizer = weakref.finalize(self, self._pool.shutdown, False)
+
+    def run_phase(self, phase: str) -> PhaseResult:
+        futures = [
+            self._pool.submit(rn.run, phase, self.blocks.f, self.blocks.post)
+            for rn in self._runners
+        ]
+        result = PhaseResult()
+        for fut in futures:  # barrier: a phase ends when every chunk has
+            per_rank, transfers = fut.result()
+            result.seconds_by_rank.update(per_rank)
+            result.transfers.extend(transfers)
+        return result
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+        self._finalizer.detach()
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to a parent-owned segment from a worker process.
+
+    Workers are ``multiprocessing`` children, so they share the parent's
+    resource tracker (both fork and spawn hand the tracker fd down) and
+    the attach-time ``register`` is an idempotent no-op on the tracker's
+    name set; the parent's single ``unlink`` is the one true cleanup.
+    Unregistering here would *remove* the parent's registration and make
+    that unlink trip a KeyError in the tracker — so don't.
+    """
+    return shared_memory.SharedMemory(name=name)
+
+
+def _worker_main(conn, ranks, segment_names, decomp, tau) -> None:
+    """Worker loop: attach the shared blocks, serve phase commands.
+
+    One worker is pinned to its rank chunk for the life of the run; the
+    parent acts as the barrier by collecting every worker's reply before
+    issuing the next phase.
+    """
+    segments = []
+    pairs: list[np.ndarray] = []
+    f_arrs: list[np.ndarray] = []
+    post_arrs: list[np.ndarray] = []
+    try:
+        for rank, name in enumerate(segment_names):
+            shm = _attach_segment(name)
+            segments.append(shm)
+            pair = np.ndarray(
+                (2,) + _padded_shape(decomp, rank),
+                dtype=np.float64,
+                buffer=shm.buf,
+            )
+            pairs.append(pair)
+            f_arrs.append(pair[0])
+            post_arrs.append(pair[1])
+        runner = ChunkRunner(ranks, decomp, tau)
+        while True:
+            cmd = conn.recv()
+            if cmd == "stop":
+                break
+            per_rank, transfers = runner.run(cmd, f_arrs, post_arrs)
+            conn.send((per_rank, transfers))
+    except (EOFError, KeyboardInterrupt):
+        pass
+    finally:
+        # Views must die before the mapped buffers can be closed.
+        f_arrs.clear()
+        post_arrs.clear()
+        pairs.clear()
+        for shm in segments:
+            shm.close()
+        conn.close()
+
+
+def _shutdown_workers(procs, conns) -> None:
+    for conn in conns:
+        try:
+            conn.send("stop")
+        except (OSError, BrokenPipeError):
+            pass
+    for proc in procs:
+        proc.join(timeout=5.0)
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=5.0)
+    for conn in conns:
+        conn.close()
+
+
+class ProcessExecutor:
+    """Persistent ``multiprocessing`` pool over shared-memory rank blocks.
+
+    Workers are pinned to contiguous rank chunks at start and keep their
+    collision scratch hot across steps; each phase costs one tiny pipe
+    round-trip per worker, with the lattice data itself never crossing
+    the pipe (it lives in the shared segments).
+    """
+
+    backend = "processes"
+
+    def __init__(self, blocks: RankBlocks, tau: float, n_workers: int):
+        if not blocks.shared:
+            raise ValueError("processes backend requires shared rank blocks")
+        self.blocks = blocks
+        methods = mp.get_all_start_methods()
+        ctx = mp.get_context("fork" if "fork" in methods else "spawn")
+        chunks = _chunk_ranks(blocks.decomp.n_tasks, n_workers)
+        self.n_workers = len(chunks)
+        self._procs = []
+        self._conns = []
+        for ranks in chunks:
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(child_conn, ranks, blocks.segment_names,
+                      blocks.decomp, tau),
+                daemon=True,
+                name=f"repro-rank-{ranks[0]}-{ranks[-1]}",
+            )
+            proc.start()
+            child_conn.close()
+            self._procs.append(proc)
+            self._conns.append(parent_conn)
+        self._finalizer = weakref.finalize(
+            self, _shutdown_workers, self._procs, self._conns
+        )
+
+    def run_phase(self, phase: str) -> PhaseResult:
+        for conn in self._conns:
+            conn.send(phase)
+        result = PhaseResult()
+        for conn in self._conns:  # reply collection is the phase barrier
+            per_rank, transfers = conn.recv()
+            result.seconds_by_rank.update(per_rank)
+            result.transfers.extend(transfers)
+        return result
+
+    def close(self) -> None:
+        self._finalizer()
+
+
+def make_executor(
+    backend: str,
+    blocks: RankBlocks,
+    tau: float,
+    n_workers: int,
+):
+    """Build the executor for a resolved backend name."""
+    if backend == "serial":
+        return SerialExecutor(blocks, tau)
+    if backend == "threads":
+        return ThreadExecutor(blocks, tau, n_workers)
+    if backend == "processes":
+        return ProcessExecutor(blocks, tau, n_workers)
+    raise ValueError(f"unknown backend {backend!r}; pick one of {BACKENDS}")

@@ -1,10 +1,16 @@
 """Halo exchange with byte/message accounting.
 
 The distributed solver keeps each rank's lattice in a padded local array
-(one-node halo).  :class:`HaloAccountant` performs the exchange by direct
-array copies (this is an in-process virtual runtime — the "network" is
-memory) while counting the bytes and messages each rank would send over
-a real interconnect.  Those counters feed the scaling model (Figs. 7-8).
+(one-node halo).  :func:`fill_rank_halo` performs one rank's fill by
+direct array copies (the "network" is memory — plain ndarrays for the
+serial/threads backends, ``shared_memory`` views for the processes
+backend) while reporting the bytes each transfer would ship over a real
+interconnect.  :class:`HaloAccountant` wraps it with cumulative counters
+that feed the scaling model (Figs. 7-8).
+
+The fill is race-free under rank-parallel execution: rank ``r`` writes
+only its *own* halo rim and reads only its neighbors' outermost
+*interior* layers, so no two ranks touch the same memory with a write.
 """
 
 from __future__ import annotations
@@ -13,12 +19,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..lbm.lattice import D3Q19
 from .decomposition import BlockDecomposition
 
 
 @dataclass
 class CommCounters:
-    """Per-exchange communication totals."""
+    """Cumulative communication totals."""
 
     bytes_sent: int = 0
     messages: int = 0
@@ -30,54 +37,95 @@ class CommCounters:
         self.by_rank[rank] = self.by_rank.get(rank, 0) + nbytes
 
 
+def fill_rank_halo(
+    rank: int,
+    arrays: list[np.ndarray],
+    decomp: BlockDecomposition,
+) -> list[tuple[int, int]]:
+    """Fill one rank's halo rim from its neighbors' interiors.
+
+    ``arrays[r]`` has shape (C, lx+2, ly+2, lz+2) for rank r.  Returns the
+    would-be network transfers as ``(neighbor, nbytes)`` pairs; self-wrap
+    copies on unsplit periodic axes are performed but not reported.
+    """
+    arr = arrays[rank]
+    transfers: list[tuple[int, int]] = []
+    for q in range(1, D3Q19.Q):
+        off = tuple(int(v) for v in D3Q19.c[q])
+        nb = decomp.neighbor(rank, off)
+        if nb is None:
+            continue
+        src = arrays[nb]
+        # Source slab: neighbor's interior layer adjacent to us;
+        # destination: our halo layer in direction `off`.
+        src_sl: list[slice] = [slice(None)]
+        dst_sl: list[slice] = [slice(None)]
+        for ax in range(3):
+            o = off[ax]
+            if o == 0:
+                src_sl.append(slice(1, src.shape[ax + 1] - 1))
+                dst_sl.append(slice(1, arr.shape[ax + 1] - 1))
+            elif o > 0:
+                # Halo on our high face comes from the neighbor's
+                # low interior layer.
+                src_sl.append(slice(1, 2))
+                dst_sl.append(slice(arr.shape[ax + 1] - 1, arr.shape[ax + 1]))
+            else:
+                src_sl.append(slice(src.shape[ax + 1] - 2, src.shape[ax + 1] - 1))
+                dst_sl.append(slice(0, 1))
+        chunk = src[tuple(src_sl)]
+        arr[tuple(dst_sl)] = chunk
+        if nb != rank:  # self-wrap copies are not network traffic
+            transfers.append((nb, chunk.nbytes))
+    return transfers
+
+
 class HaloAccountant:
     """Performs and accounts halo exchanges over a block decomposition.
 
     Local arrays are padded by one node on every face; the exchange fills
     each rank's halo from the neighbor's outermost interior layer, with
     periodic wrap handled by the decomposition's neighbor map.
+
+    Counters are cumulative; :meth:`reset` zeroes them so a solver reused
+    across bench phases reports correct per-step averages.  The most
+    recent exchange's totals are always available as
+    ``last_exchange_bytes`` / ``last_exchange_messages``.
     """
 
     def __init__(self, decomp: BlockDecomposition):
         self.decomp = decomp
         self.counters = CommCounters()
+        self.last_exchange_bytes = 0
+        self.last_exchange_messages = 0
 
     def exchange(self, locals_: list[np.ndarray]) -> None:
         """Fill halos of all ranks' padded arrays, counting traffic.
 
         ``locals_[r]`` has shape (C, lx+2, ly+2, lz+2) for rank r.
         """
-        from ..lbm.lattice import D3Q19
+        transfers: list[tuple[int, int]] = []
+        for rank in range(len(locals_)):
+            transfers.extend(fill_rank_halo(rank, locals_, self.decomp))
+        self.record(transfers)
 
-        d = self.decomp
-        for rank, arr in enumerate(locals_):
-            for q in range(1, D3Q19.Q):
-                off = tuple(int(v) for v in D3Q19.c[q])
-                nb = d.neighbor(rank, off)
-                if nb is None:
-                    continue
-                src = locals_[nb]
-                # Source slab: neighbor's interior layer adjacent to us;
-                # destination: our halo layer in direction `off`.
-                src_sl: list[slice] = [slice(None)]
-                dst_sl: list[slice] = [slice(None)]
-                for ax in range(3):
-                    o = off[ax]
-                    if o == 0:
-                        src_sl.append(slice(1, src.shape[ax + 1] - 1))
-                        dst_sl.append(slice(1, arr.shape[ax + 1] - 1))
-                    elif o > 0:
-                        # Halo on our high face comes from the neighbor's
-                        # low interior layer.
-                        src_sl.append(slice(1, 2))
-                        dst_sl.append(slice(arr.shape[ax + 1] - 1, arr.shape[ax + 1]))
-                    else:
-                        src_sl.append(slice(src.shape[ax + 1] - 2, src.shape[ax + 1] - 1))
-                        dst_sl.append(slice(0, 1))
-                chunk = src[tuple(src_sl)]
-                arr[tuple(dst_sl)] = chunk
-                if nb != rank:  # self-wrap copies are not network traffic
-                    self.counters.add(nb, chunk.nbytes)
+    def record(self, transfers: list[tuple[int, int]]) -> None:
+        """Fold externally performed transfers into the counters.
 
-    def reset_counters(self) -> None:
+        The executor backends fill halos rank-parallel (possibly in worker
+        processes) and hand the per-transfer records back here so the
+        accounting is identical to an in-process :meth:`exchange`.
+        """
+        for nb, nbytes in transfers:
+            self.counters.add(nb, nbytes)
+        self.last_exchange_bytes = sum(b for _, b in transfers)
+        self.last_exchange_messages = len(transfers)
+
+    def reset(self) -> None:
+        """Zero the cumulative counters (start of a new bench phase)."""
         self.counters = CommCounters()
+        self.last_exchange_bytes = 0
+        self.last_exchange_messages = 0
+
+    # Backwards-compatible alias.
+    reset_counters = reset

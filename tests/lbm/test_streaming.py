@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.lbm import D3Q19, stream_pull
+from repro.lbm import D3Q19, stream_pull, stream_pull_padded
 from repro.lbm.streaming import upwind_solid_masks
 
 
@@ -47,6 +47,39 @@ def test_stream_roundtrip_with_opposites(rng):
     swapped = once[D3Q19.opp]
     twice = stream_pull(swapped)
     assert np.allclose(twice[D3Q19.opp], f)
+
+
+def test_stream_padded_matches_periodic_on_wrapped_halo(rng):
+    """With halos filled by periodic wrap, the padded pull stream must
+    reproduce the plain periodic stream on the interior."""
+    shape = (5, 4, 3)
+    f = rng.random((19,) + shape)
+    ref = stream_pull(f)
+    padded = np.zeros((19,) + tuple(s + 2 for s in shape))
+    padded[:, 1:-1, 1:-1, 1:-1] = f
+    # Fill the rim by periodic wrap (what the halo exchange does for a
+    # single rank) using explicit edge copies.
+    padded[:] = np.pad(f, ((0, 0), (1, 1), (1, 1), (1, 1)), mode="wrap")
+    out = np.zeros_like(padded)
+    stream_pull_padded(padded, out=out)
+    assert np.array_equal(out[:, 1:-1, 1:-1, 1:-1], ref)
+
+
+def test_stream_padded_rejects_in_place():
+    f = np.zeros((19, 4, 4, 4))
+    with pytest.raises(ValueError):
+        stream_pull_padded(f, out=f)
+
+
+def test_stream_padded_pulls_from_rim(rng):
+    """A population sitting in the halo rim must stream into the interior."""
+    padded = np.zeros((19, 5, 5, 5))  # 3^3 interior
+    q = 1  # c = (1, 0, 0): interior x=1 pulls from rim x=0
+    padded[q, 0, 2, 2] = 1.0
+    out = np.zeros_like(padded)
+    stream_pull_padded(padded, out=out)
+    assert out[q, 1, 2, 2] == 1.0
+    assert out[q, 1:-1, 1:-1, 1:-1].sum() == 1.0
 
 
 def test_upwind_masks_flag_fluid_next_to_solid():

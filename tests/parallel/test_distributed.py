@@ -17,15 +17,18 @@ def _reference(shape, tau, seed):
 
 
 @pytest.mark.parametrize("n_tasks", [1, 2, 4, 8])
-def test_matches_single_grid(n_tasks):
+@pytest.mark.parametrize("halo_mode", ["exchange", "recompute"])
+def test_matches_single_grid(n_tasks, halo_mode):
     shape = (12, 10, 8)
     g = _reference(shape, tau=0.8, seed=0)
-    d = DistributedLBMSolver(shape, tau=0.8, n_tasks=n_tasks)
-    d.scatter(g.f.copy())
-    ref = LBMSolver(g, [])
-    ref.step(4)
-    d.step(4)
-    assert np.allclose(d.gather(), g.f, atol=1e-13, rtol=0)
+    with DistributedLBMSolver(
+        shape, tau=0.8, n_tasks=n_tasks, halo_mode=halo_mode
+    ) as d:
+        d.scatter(g.f.copy())
+        ref = LBMSolver(g, [])
+        ref.step(4)
+        d.step(4)
+        assert np.array_equal(d.gather(), g.f)
 
 
 def test_task_count_does_not_change_result():
@@ -33,44 +36,44 @@ def test_task_count_does_not_change_result():
     g = _reference(shape, tau=0.9, seed=1)
     results = []
     for n_tasks in (2, 6, 8):
-        d = DistributedLBMSolver(shape, tau=0.9, n_tasks=n_tasks)
-        d.scatter(g.f.copy())
-        d.step(3)
-        results.append(d.gather())
-    assert np.allclose(results[0], results[1], atol=1e-13)
-    assert np.allclose(results[1], results[2], atol=1e-13)
+        with DistributedLBMSolver(shape, tau=0.9, n_tasks=n_tasks) as d:
+            d.scatter(g.f.copy())
+            d.step(3)
+            results.append(d.gather())
+    assert np.array_equal(results[0], results[1])
+    assert np.array_equal(results[1], results[2])
 
 
 def test_scatter_gather_roundtrip():
     shape = (9, 7, 5)
     g = _reference(shape, tau=0.8, seed=2)
-    d = DistributedLBMSolver(shape, tau=0.8, n_tasks=4)
-    d.scatter(g.f)
-    assert np.array_equal(d.gather(), g.f)
+    with DistributedLBMSolver(shape, tau=0.8, n_tasks=4) as d:
+        d.scatter(g.f)
+        assert np.array_equal(d.gather(), g.f)
 
 
 def test_scatter_validates_shape():
-    d = DistributedLBMSolver((8, 8, 8), tau=0.8, n_tasks=2)
-    with pytest.raises(ValueError):
-        d.scatter(np.zeros((19, 4, 4, 4)))
+    with DistributedLBMSolver((8, 8, 8), tau=0.8, n_tasks=2) as d:
+        with pytest.raises(ValueError):
+            d.scatter(np.zeros((19, 4, 4, 4)))
 
 
 def test_communication_accounted():
     shape = (16, 16, 16)
-    d = DistributedLBMSolver(shape, tau=0.8, n_tasks=8)
-    d.scatter(_reference(shape, 0.8, 3).f)
-    d.step(2)
-    assert d.halo.counters.bytes_sent > 0
-    assert d.halo.counters.messages > 0
-    assert d.bytes_per_step() == d.halo.counters.bytes_sent / 2
+    with DistributedLBMSolver(shape, tau=0.8, n_tasks=8) as d:
+        d.scatter(_reference(shape, 0.8, 3).f)
+        d.step(2)
+        assert d.halo.counters.bytes_sent > 0
+        assert d.halo.counters.messages > 0
+        assert d.bytes_per_step() == d.halo.counters.bytes_sent / 2
 
 
 def test_single_task_sends_nothing():
     shape = (8, 8, 8)
-    d = DistributedLBMSolver(shape, tau=0.8, n_tasks=1)
-    d.scatter(_reference(shape, 0.8, 4).f)
-    d.step(2)
-    assert d.halo.counters.bytes_sent == 0
+    with DistributedLBMSolver(shape, tau=0.8, n_tasks=1) as d:
+        d.scatter(_reference(shape, 0.8, 4).f)
+        d.step(2)
+        assert d.halo.counters.bytes_sent == 0
 
 
 def test_halo_bytes_scale_with_surface():
@@ -81,9 +84,23 @@ def test_halo_bytes_scale_with_surface():
     per_rank = []
     for n_tasks, side in ((1, 8), (8, 16)):
         shape = (side, side, side)
-        d = DistributedLBMSolver(shape, tau=0.8, n_tasks=n_tasks)
-        d.scatter(_reference(shape, 0.8, 5).f)
-        d.step(1)
-        per_rank.append(d.halo.counters.bytes_sent / n_tasks)
+        with DistributedLBMSolver(shape, tau=0.8, n_tasks=n_tasks) as d:
+            d.scatter(_reference(shape, 0.8, 5).f)
+            d.step(1)
+            per_rank.append(d.halo.counters.bytes_sent / n_tasks)
     assert per_rank[0] == 0.0  # one rank: no traffic yet
     assert per_rank[1] > 0
+
+
+def test_counter_reset_across_reuse():
+    """bytes_per_step averages only over steps since the last reset."""
+    shape = (12, 12, 12)
+    with DistributedLBMSolver(shape, tau=0.9, n_tasks=8) as d:
+        d.scatter(_reference(shape, 0.9, 6).f)
+        d.step(4)
+        per_step = d.bytes_per_step()
+        d.reset_counters()
+        d.step(1)
+        assert d.bytes_per_step() == pytest.approx(per_step)
+        assert d.last_step_bytes == pytest.approx(per_step)
+        assert d.last_step_messages == d.halo.counters.messages

@@ -1,0 +1,223 @@
+"""Executor backends: bit-exact equivalence, halo modes, pool lifecycle."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.lbm import Grid, LBMSolver
+from repro.parallel import (
+    BACKENDS,
+    DistributedLBMSolver,
+    resolve_backend,
+)
+from repro.telemetry import Telemetry, active
+
+
+def _reference(shape, tau, seed, steps):
+    rng = np.random.default_rng(seed)
+    g = Grid(shape, tau=tau)
+    rho = 1.0 + 0.02 * rng.standard_normal(shape)
+    vel = 0.03 * rng.standard_normal((3,) + shape)
+    g.init_equilibrium(rho, vel)
+    f0 = g.f.copy()
+    LBMSolver(g, []).step(steps)
+    return f0, g.f
+
+
+# ----------------------------------------------------------------------
+# Backend x halo-mode matrix: every combination must reproduce the
+# single-grid solver bit-for-bit on a periodic lattice.
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("halo_mode", ["exchange", "recompute"])
+def test_backend_matrix_matches_single_grid(backend, halo_mode):
+    shape = (12, 10, 8)
+    f0, f_ref = _reference(shape, tau=0.8, seed=0, steps=4)
+    with DistributedLBMSolver(
+        shape, tau=0.8, n_tasks=4,
+        backend=backend, n_workers=2, halo_mode=halo_mode,
+    ) as d:
+        d.scatter(f0)
+        d.step(4)
+        assert np.array_equal(d.gather(), f_ref)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_workers_fewer_than_ranks(backend):
+    """A 2-worker pool over 8 ranks chunks correctly and stays exact."""
+    shape = (16, 8, 8)
+    f0, f_ref = _reference(shape, tau=0.9, seed=1, steps=3)
+    with DistributedLBMSolver(
+        shape, tau=0.9, n_tasks=8, backend=backend, n_workers=2,
+    ) as d:
+        d.scatter(f0)
+        d.step(3)
+        assert np.array_equal(d.gather(), f_ref)
+
+
+def test_halo_recompute_equals_exchange():
+    """Recompute mode ships f pre-collision and redundantly collides the
+    ghost rim; it must agree bitwise with the exchange mode, byte for
+    byte in the comm accounting too."""
+    shape = (12, 12, 8)
+    f0, _ = _reference(shape, tau=0.85, seed=2, steps=0)
+    results = {}
+    counters = {}
+    for mode in ("exchange", "recompute"):
+        with DistributedLBMSolver(
+            shape, tau=0.85, n_tasks=6, halo_mode=mode,
+        ) as d:
+            d.scatter(f0)
+            d.step(3)
+            results[mode] = d.gather()
+            counters[mode] = (d.halo.counters.bytes_sent,
+                              d.halo.counters.messages)
+    assert np.array_equal(results["exchange"], results["recompute"])
+    assert counters["exchange"] == counters["recompute"]
+
+
+def test_invalid_backend_and_halo_mode_rejected():
+    with pytest.raises(ValueError):
+        DistributedLBMSolver((8, 8, 8), tau=0.8, n_tasks=2, backend="mpi")
+    with pytest.raises(ValueError):
+        DistributedLBMSolver((8, 8, 8), tau=0.8, n_tasks=2,
+                             halo_mode="telepathy")
+
+
+# ----------------------------------------------------------------------
+# Worker-pool lifecycle: teardown and re-entry without leaks.
+
+
+def test_process_pool_teardown_and_reentry():
+    shape = (8, 8, 8)
+    f0 = np.full((19,) + shape, 0.05)
+    for _ in range(2):  # re-entry: a fresh pool after a full teardown
+        d = DistributedLBMSolver(
+            shape, tau=0.8, n_tasks=4, backend="processes", n_workers=2,
+        )
+        names = list(d.blocks.segment_names)
+        procs = list(d.executor._procs)
+        d.scatter(f0)
+        d.step(2)
+        d.close()
+        for p in procs:
+            assert not p.is_alive()
+        for name in names:
+            from multiprocessing import shared_memory
+
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+
+def test_close_is_idempotent():
+    d = DistributedLBMSolver(
+        (8, 8, 8), tau=0.8, n_tasks=2, backend="processes", n_workers=2,
+    )
+    d.step(1)
+    d.close()
+    d.close()
+
+
+def test_finalizer_cleans_up_without_close():
+    """Dropping an unclosed solver must not leak segments (GC safety net)."""
+    import gc
+
+    d = DistributedLBMSolver(
+        (8, 8, 8), tau=0.8, n_tasks=2, backend="processes", n_workers=2,
+    )
+    names = list(d.blocks.segment_names)
+    d.step(1)
+    del d
+    gc.collect()
+    from multiprocessing import shared_memory
+
+    for name in names:
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+
+# ----------------------------------------------------------------------
+# Backend resolution and environment override.
+
+
+def test_resolve_backend_defaults():
+    backend, workers = resolve_backend(None, None, n_tasks=4)
+    assert backend in BACKENDS
+    assert 1 <= workers <= 4
+
+
+def test_resolve_backend_env(monkeypatch):
+    monkeypatch.setenv("REPRO_PARALLEL_BACKEND", "threads")
+    monkeypatch.setenv("REPRO_PARALLEL_WORKERS", "3")
+    backend, workers = resolve_backend(None, None, n_tasks=8)
+    assert backend == "threads"
+    assert workers == 3
+    # Explicit arguments win over the environment.
+    backend, workers = resolve_backend("serial", 5, n_tasks=8)
+    assert backend == "serial"
+    assert workers == 1  # serial always runs single-worker
+
+
+def test_env_backend_reaches_solver(monkeypatch):
+    monkeypatch.setenv("REPRO_PARALLEL_BACKEND", "threads")
+    monkeypatch.setenv("REPRO_PARALLEL_WORKERS", "2")
+    with DistributedLBMSolver((8, 8, 8), tau=0.8, n_tasks=4) as d:
+        assert d.backend == "threads"
+        assert d.n_workers == 2
+
+
+def test_worker_count_capped_at_ranks():
+    with DistributedLBMSolver(
+        (8, 8, 8), tau=0.8, n_tasks=2, backend="threads", n_workers=16,
+    ) as d:
+        assert d.n_workers == 2
+
+
+# ----------------------------------------------------------------------
+# Telemetry wiring: per-phase timers, per-rank seconds, comm counters.
+
+
+def test_step_records_phases_and_comm_counters():
+    shape = (8, 8, 8)
+    tel = Telemetry()
+    with DistributedLBMSolver(shape, tau=0.8, n_tasks=4) as d:
+        d.scatter(np.full((19,) + shape, 0.05))
+        with active(tel):
+            d.step(2)
+    phases = tel.summary()["phases"]
+    for name in ("dist/collide", "dist/halo", "dist/stream"):
+        assert phases[name]["count"] == 2
+    assert tel.counter("comm.bytes_sent").value == d.halo.counters.bytes_sent
+    assert tel.counter("comm.messages").value == d.halo.counters.messages
+    # Per-rank wall-clock accumulators cover every rank and phase.
+    for phase in ("collide", "halo", "stream"):
+        assert set(d.rank_phase_seconds[phase]) == set(range(4))
+        assert all(t >= 0.0 for t in d.rank_phase_seconds[phase].values())
+
+
+def test_reset_counters_gives_per_phase_deltas():
+    """A solver reused across bench phases reports per-step averages for
+    the current phase only."""
+    shape = (12, 12, 12)
+    with DistributedLBMSolver(shape, tau=0.9, n_tasks=8) as d:
+        d.scatter(np.full((19,) + shape, 0.05))
+        d.step(3)
+        first = d.bytes_per_step()
+        assert first > 0
+        d.reset_counters()
+        assert d.bytes_per_step() == 0.0
+        d.step(2)
+        assert d.bytes_per_step() == pytest.approx(first)
+        assert d.halo.counters.bytes_sent == pytest.approx(2 * first)
+
+
+def test_measure_throughput_smoke():
+    from repro.parallel import measure_throughput
+
+    r = measure_throughput((8, 8, 8), n_tasks=2, backend="serial", steps=2,
+                           warmup=1)
+    assert r["steps_per_s"] > 0
+    assert r["bytes_per_step"] > 0
+    assert r["backend"] == "serial"

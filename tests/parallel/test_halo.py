@@ -2,7 +2,7 @@
 
 import numpy as np
 
-from repro.parallel import BlockDecomposition, HaloAccountant
+from repro.parallel import BlockDecomposition, HaloAccountant, fill_rank_halo
 
 
 def _padded_locals(decomp, fill_rank_id=True):
@@ -71,6 +71,44 @@ def test_reset_counters():
     h.reset_counters()
     assert h.counters.bytes_sent == 0
     assert h.counters.messages == 0
+
+
+def test_reset_alias_and_last_exchange_deltas():
+    d = BlockDecomposition((8, 4, 4), 2)
+    h = HaloAccountant(d)
+    h.exchange(_padded_locals(d))
+    first_bytes = h.counters.bytes_sent
+    assert h.last_exchange_bytes == first_bytes
+    assert h.last_exchange_messages == h.counters.messages
+    h.exchange(_padded_locals(d))
+    # Cumulative doubles; the per-exchange delta stays at one exchange.
+    assert h.counters.bytes_sent == 2 * first_bytes
+    assert h.last_exchange_bytes == first_bytes
+    h.reset()  # the new name; reset_counters stays as an alias
+    assert h.counters.bytes_sent == 0
+    assert h.last_exchange_bytes == 0
+    assert h.last_exchange_messages == 0
+
+
+def test_fill_rank_halo_matches_exchange():
+    """The per-rank fill (used rank-parallel by the executors) performs
+    the same copies and reports the same traffic as a full exchange."""
+    d = BlockDecomposition((8, 8, 4), 4)
+    via_exchange = _padded_locals(d)
+    HaloAccountant(d).exchange(via_exchange)
+    via_fill = _padded_locals(d)
+    transfers = []
+    for rank in range(d.n_tasks):
+        transfers.extend(fill_rank_halo(rank, via_fill, d))
+    for a, b in zip(via_exchange, via_fill):
+        assert np.array_equal(a, b)
+    h = HaloAccountant(d)
+    h.record(transfers)
+    ref = HaloAccountant(d)
+    ref.exchange(_padded_locals(d))
+    assert h.counters.bytes_sent == ref.counters.bytes_sent
+    assert h.counters.messages == ref.counters.messages
+    assert h.counters.by_rank == ref.counters.by_rank
 
 
 def test_bytes_proportional_to_face_area():

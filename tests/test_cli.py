@@ -24,6 +24,22 @@ def test_scaling_command(capsys):
     assert "512" in out
 
 
+def test_scaling_measured_serial(capsys):
+    assert main(["scaling", "--measured", "--shape", "8", "8", "8",
+                 "--tasks", "2", "--steps", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "measured" in out and "serial" in out
+    assert "steps/s" in out
+
+
+def test_scaling_measured_with_backend(capsys):
+    assert main(["scaling", "--measured", "--shape", "8", "8", "8",
+                 "--tasks", "2", "--steps", "2",
+                 "--backend", "threads", "--workers", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "threads" in out and "speedup" in out
+
+
 @pytest.mark.slow
 def test_shear_command(tmp_path, capsys):
     csv = tmp_path / "profile.csv"
