@@ -44,7 +44,9 @@ from repro.units import UnitSystem
 PHASES = ("forces", "spread", "collide_stream", "advect")
 
 
-def build_stepper(shape, n_cells: int, subdivisions: int, seed: int) -> FSIStepper:
+def build_stepper(shape, n_cells: int, subdivisions: int, seed: int,
+                  backend: str | None = None,
+                  workers: int | None = None) -> FSIStepper:
     """Seeded cell-laden periodic lattice driven by a body force."""
     dx = 0.65e-6
     nu = 1.2e-3 / 1025.0
@@ -70,36 +72,69 @@ def build_stepper(shape, n_cells: int, subdivisions: int, seed: int) -> FSIStepp
         manager,
         mode="wrap",
         body_force=np.array([500.0, 0.0, 0.0]),
+        backend=backend,
+        workers=workers,
     )
 
 
-def run(args) -> dict:
-    stepper = build_stepper(args.shape, args.cells, args.subdivisions, args.seed)
-    stepper.step(args.warmup)
+def run(args, backend: str | None = None, workers: int | None = None) -> dict:
+    stepper = build_stepper(args.shape, args.cells, args.subdivisions,
+                            args.seed, backend=backend, workers=workers)
+    try:
+        stepper.step(args.warmup)
 
-    tel = Telemetry(meta={"benchmark": "hotpath_step"})
-    t0 = time.perf_counter()
-    with active(tel):
-        stepper.step(args.steps)
-    wall_s = time.perf_counter() - t0
+        tel = Telemetry(meta={"benchmark": "hotpath_step"})
+        t0 = time.perf_counter()
+        with active(tel):
+            stepper.step(args.steps)
+        wall_s = time.perf_counter() - t0
 
-    phases = tel.summary()["phases"]
-    phase_ms = {
-        name: 1e3 * phases[name]["total_s"] / args.steps
-        for name in PHASES
-        if name in phases
-    }
-    n_vertices = sum(len(c.vertices) for c in stepper.cells.cells)
-    result = {
-        "total_ms_per_step": 1e3 * wall_s / args.steps,
-        "steps_per_s": args.steps / wall_s,
-        "phase_ms_per_step": phase_ms,
-        "wall_s": wall_s,
-        "steps": args.steps,
-        "n_cells": stepper.cells.n_cells,
-        "n_vertices": n_vertices,
-    }
+        phases = tel.summary()["phases"]
+        phase_ms = {
+            name: 1e3 * phases[name]["total_s"] / args.steps
+            for name in PHASES
+            if name in phases
+        }
+        n_vertices = sum(len(c.vertices) for c in stepper.cells.cells)
+        result = {
+            "total_ms_per_step": 1e3 * wall_s / args.steps,
+            "steps_per_s": args.steps / wall_s,
+            "phase_ms_per_step": phase_ms,
+            "wall_s": wall_s,
+            "steps": args.steps,
+            "n_cells": stepper.cells.n_cells,
+            "n_vertices": n_vertices,
+            "backend": stepper.backend,
+            "workers": stepper.n_workers,
+        }
+    finally:
+        stepper.close()
     return result
+
+
+def run_sweep(args, serial: dict) -> dict:
+    """Serial-vs-parallel phase curves over the backend/worker matrix.
+
+    Mirrors the measured-curve convention of ``bench_fig7_strong_scaling``:
+    one serial anchor plus per-backend worker sweeps, each entry carrying
+    the full per-phase breakdown, keyed for ``BENCH_hotpaths.json``.
+    """
+    curves: dict = {}
+    for backend in args.sweep_backends:
+        if backend == "serial":
+            continue
+        curves[backend] = {}
+        for w in args.sweep_workers:
+            r = run(args, backend=backend, workers=w)
+            r["speedup_vs_serial"] = (
+                serial["total_ms_per_step"] / r["total_ms_per_step"]
+            )
+            curves[backend][str(w)] = r
+    return {
+        "serial": serial,
+        "curves": curves,
+        "cpu_count": os.cpu_count(),
+    }
 
 
 def machine_info() -> dict:
@@ -123,13 +158,26 @@ def main(argv=None) -> int:
     parser.add_argument("--steps", type=int, default=40, help="timed steps")
     parser.add_argument("--warmup", type=int, default=5, help="untimed warmup steps")
     parser.add_argument("--seed", type=int, default=7, help="placement RNG seed")
+    parser.add_argument("--backend", default=None,
+                        choices=("serial", "threads", "processes"),
+                        help="FSI executor backend for the main run "
+                             "(default: REPRO_PARALLEL_BACKEND or serial)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="FSI worker count for the main run")
+    parser.add_argument("--sweep-backends", nargs="+", default=None,
+                        choices=("serial", "threads", "processes"),
+                        help="also record serial-vs-parallel phase curves "
+                             "over these backends")
+    parser.add_argument("--sweep-workers", type=int, nargs="+",
+                        default=[2, 4],
+                        help="worker counts for the backend sweep")
     parser.add_argument("--baseline", type=Path, default=None,
                         help="earlier BENCH json to embed for comparison")
     parser.add_argument("--out", type=Path, default=Path("BENCH_hotpaths.json"),
                         help="output JSON path")
     args = parser.parse_args(argv)
 
-    result = run(args)
+    result = run(args, backend=args.backend, workers=args.workers)
     record = {
         "benchmark": "hotpath_step",
         "config": {
@@ -139,10 +187,27 @@ def main(argv=None) -> int:
             "steps": args.steps,
             "warmup": args.warmup,
             "seed": args.seed,
+            "backend": result["backend"],
+            "workers": result["workers"],
         },
         "machine": machine_info(),
         "result": result,
     }
+    if args.sweep_backends:
+        serial = (result
+                  if result["backend"] == "serial"
+                  else run(args, backend="serial"))
+        record["parallel"] = run_sweep(args, serial)
+    elif args.out.exists():
+        # Preserve a previously recorded sweep on plain re-runs (same
+        # convention as the weak-scaling section of BENCH_scaling.json).
+        try:
+            with open(args.out, encoding="utf-8") as fh:
+                prior = json.load(fh)
+            if "parallel" in prior:
+                record["parallel"] = prior["parallel"]
+        except (json.JSONDecodeError, OSError):
+            pass
     if args.baseline is not None and args.baseline.exists():
         with open(args.baseline, encoding="utf-8") as fh:
             base = json.load(fh)
@@ -157,7 +222,8 @@ def main(argv=None) -> int:
         json.dump(record, fh, indent=2, sort_keys=True)
         fh.write("\n")
 
-    print(f"hotpath_step: {result['total_ms_per_step']:.2f} ms/step "
+    print(f"hotpath_step [{result['backend']} x{result['workers']}]: "
+          f"{result['total_ms_per_step']:.2f} ms/step "
           f"({result['steps_per_s']:.1f} steps/s), "
           f"{result['n_cells']} cells / {result['n_vertices']} vertices")
     for name in PHASES:
@@ -165,6 +231,19 @@ def main(argv=None) -> int:
             print(f"  {name:<16} {result['phase_ms_per_step'][name]:8.3f} ms/step")
     if "speedup_vs_baseline" in record:
         print(f"  speedup vs baseline: {record['speedup_vs_baseline']:.2f}x")
+    if args.sweep_backends:
+        par = record["parallel"]
+        print(f"backend sweep (cpu_count={par['cpu_count']}):")
+        print(f"  {'serial':>9s} x1        : "
+              f"{par['serial']['total_ms_per_step']:8.2f} ms/step")
+        for backend, curve in par["curves"].items():
+            for w, r in curve.items():
+                print(f"  {backend:>9s} x{w:<8s} : "
+                      f"{r['total_ms_per_step']:8.2f} ms/step "
+                      f"(speedup {r['speedup_vs_serial']:.2f}x)")
+        if par["cpu_count"] == 1:
+            print("  note: single-CPU machine — worker pools cannot beat "
+                  "serial here; rerun on a multi-core box for real curves")
     print(f"wrote {args.out}")
     return 0
 

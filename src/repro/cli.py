@@ -129,7 +129,16 @@ def _cmd_scaling(args: argparse.Namespace) -> int:
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
+    import os
+
     from .telemetry import Telemetry, active
+
+    # Experiments build their steppers internally, so the backend choice
+    # travels via the env vars resolve_fsi_backend already honors.
+    if args.backend is not None:
+        os.environ["REPRO_PARALLEL_BACKEND"] = args.backend
+    if args.workers is not None:
+        os.environ["REPRO_PARALLEL_WORKERS"] = str(args.workers)
 
     tel = Telemetry(
         out_dir=args.telemetry_dir,
@@ -239,6 +248,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--lam", type=float, default=0.5)
     p.add_argument("--ratio", type=int, default=2)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--backend", default=None,
+                   choices=("serial", "threads", "processes"),
+                   help="FSI executor backend "
+                        "(default: REPRO_PARALLEL_BACKEND or serial)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="FSI worker count (default: REPRO_PARALLEL_WORKERS)")
     _add_telemetry_flag(p)
     p.set_defaults(func=_cmd_profile)
 

@@ -217,6 +217,11 @@ class APRSimulation:
             from ..lbm.boundaries import BounceBackWalls
 
             boundaries.append(BounceBackWalls(fine_grid.solid))
+        if self.fine is not None:
+            # The outgoing stepper's parallel runtime holds a worker pool
+            # and shared-memory segments; release them deterministically
+            # instead of waiting for the GC finalizer.
+            self.fine.close()
         self.fine = FSIStepper(
             fine_grid,
             self.units_fine,

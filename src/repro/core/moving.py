@@ -93,11 +93,20 @@ class WindowMover:
             capture_ids = {c.global_id for c in capture}
 
             # Subgrid over kept (captured + protected) cells for overlap
-            # checks.
+            # checks, built with one bulk insert.
             occupied = UniformSubgrid(cell_size=self.overlap_cutoff)
-            for cell in manager.cells:
-                if cell.global_id in capture_ids or cell.global_id in protect:
-                    occupied.insert(cell.vertices, cell.global_id)
+            kept = [
+                cell for cell in manager.cells
+                if cell.global_id in capture_ids or cell.global_id in protect
+            ]
+            if kept:
+                occupied.insert(
+                    np.concatenate([c.vertices for c in kept]),
+                    np.repeat(
+                        np.array([c.global_id for c in kept], dtype=np.int64),
+                        [len(c.vertices) for c in kept],
+                    ),
+                )
 
         lo_int, hi_int = new_window.interior_bounds()
         lo_cap, hi_cap = new_window.interior_bounds()

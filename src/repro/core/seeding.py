@@ -168,10 +168,11 @@ def stamp_tile(
         return added
 
     if existing is None:
-        # Existing-cell subgrid for overlap rejection.
-        existing = UniformSubgrid(cell_size=max(overlap_cutoff, 1e-12))
-        for cell in manager.cells:
-            existing.insert(cell.vertices, cell.global_id)
+        # Existing-cell subgrid for overlap rejection: the manager's
+        # cached vertex index (rebuilt only when membership or positions
+        # changed).  Accepted cells are inserted below; the membership
+        # bump invalidates the cache for later callers.
+        existing = manager.vertex_subgrid(max(overlap_cutoff, 1e-12))
 
     for center, rot, tile_idx in candidates:
         gid = manager.allocate_id()
@@ -421,12 +422,11 @@ class HematocritController:
             ht = region_hematocrit(vols, cents, lo, hi)
             if ht < self.threshold * local_target:
                 if existing is None:
-                    # One shared overlap index for the whole pass.
-                    existing = UniformSubgrid(
-                        cell_size=max(self.overlap_cutoff, 1e-12)
+                    # One shared overlap index for the whole pass, from
+                    # the manager's generation/position-keyed cache.
+                    existing = manager.vertex_subgrid(
+                        max(self.overlap_cutoff, 1e-12)
                     )
-                    for cell in manager.cells:
-                        existing.insert(cell.vertices, cell.global_id)
                 added = stamp_tile(
                     manager,
                     self.tile,

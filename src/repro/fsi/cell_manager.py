@@ -80,7 +80,10 @@ class CellManager:
         self.contact_cutoff = contact_cutoff
         self.contact_stiffness = contact_stiffness
         self._generation = 0
+        self._position_version = 0
         self._packed: _PackedCache | None = None
+        self._subgrid = None
+        self._subgrid_key: tuple | None = None
 
     # -- id allocation ------------------------------------------------------
     def allocate_id(self) -> int:
@@ -99,6 +102,11 @@ class CellManager:
     def generation(self) -> int:
         """Bumped whenever membership or storage layout changes."""
         return self._generation
+
+    @property
+    def position_version(self) -> int:
+        """Bumped whenever vertex positions move (advection)."""
+        return self._position_version
 
     @property
     def cells(self) -> list[Cell]:
@@ -237,6 +245,58 @@ class CellManager:
         p = self._refresh_packed_vertices()
         return p.verts, p.ordinals, p.cells
 
+    def packed_arrays(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, list[Cell]]:
+        """Refreshed packed vertices, force buffer, ordinals, cell list.
+
+        The force buffer's contents are whatever the last force pass left
+        there; callers overwrite it.  Same manager-owned snapshot contract
+        as :meth:`packed_vertices`.  This is the entry point the parallel
+        FSI runtime shards over.
+        """
+        p = self._refresh_packed_vertices()
+        return p.verts, p.forces, p.ordinals, p.cells
+
+    def packed_segments(self):
+        """Yield ``(reference, sample cell, start row, n_cells, n_vertices)``
+        for every packed group segment (packed order).
+
+        ``start row`` is the segment's first row in the packed arrays;
+        cell ``c`` of the segment owns rows ``start + c*n_vertices``
+        onward.  The sample cell carries the group's shared moduli.
+        """
+        p = self._packed_cache()
+        for group, slots, start, _stop in p.segments:
+            yield (group.reference, group.cells[0], start,
+                   len(group.cells), group.pool.n_vertices)
+
+    def vertex_subgrid(self, cell_size: float) -> "UniformSubgrid":
+        """Persistent vertex subgrid labeled by owning global ID.
+
+        Cached against ``(generation, position_version, cell_size)`` so
+        repeated hematocrit-maintenance passes over an unchanged
+        population reuse one build.  Callers may ``insert`` additional
+        points (tile stamping does); membership changes bump the
+        generation, which invalidates the cache on the next call.
+        """
+        from .subgrid import UniformSubgrid  # deferred: import cycle safety
+
+        key = (self._generation, self._position_version, float(cell_size))
+        if self._subgrid is not None and self._subgrid_key == key:
+            return self._subgrid
+        sg = UniformSubgrid(cell_size=cell_size)
+        p = self._refresh_packed_vertices()
+        if p.cells:
+            gids = np.fromiter(
+                (c.global_id for c in p.cells), dtype=np.int64,
+                count=len(p.cells),
+            )
+            sg.insert(p.verts, gids[p.ordinals])
+        self._subgrid = sg
+        self._subgrid_key = key
+        return sg
+
     def all_vertices(self) -> tuple[np.ndarray, np.ndarray, list[Cell]]:
         """All vertices stacked (N, 3), per-vertex cell ordinal, cell list.
 
@@ -325,6 +385,7 @@ class CellManager:
             group.pool.scatter_add(
                 slots, displacements[start:stop].reshape(len(slots), -1, 3)
             )
+        self._position_version += 1
 
     def set_velocities(self, velocities: np.ndarray) -> None:
         """Assign per-vertex velocities (packed ordering) onto the cells.

@@ -18,6 +18,19 @@ from __future__ import annotations
 import numpy as np
 from scipy.spatial import cKDTree
 
+#: Reusable scratch arrays, keyed by role; the vertex count is stable
+#: between membership changes, so the per-step hot path reallocates
+#: nothing.  Callers fold the returned forces into their own accumulator
+#: and never retain the buffer, which makes cross-call reuse safe.
+_scratch: dict[str, np.ndarray] = {}
+
+
+def _scratch_buf(key: str, shape: tuple, dtype=np.float64) -> np.ndarray:
+    buf = _scratch.get(key)
+    if buf is None or buf.shape != shape or buf.dtype != dtype:
+        buf = _scratch[key] = np.empty(shape, dtype=dtype)
+    return buf
+
 
 def contact_forces(
     vertices: np.ndarray,
@@ -43,7 +56,8 @@ def contact_forces(
     (N, 3) forces; equal and opposite within each pair (momentum-free).
     """
     n = len(vertices)
-    forces = np.zeros((n, 3))
+    forces = _scratch_buf("forces", (n, 3))
+    forces.fill(0.0)
     if n == 0 or cutoff <= 0.0:
         return forces
     tree = cKDTree(vertices)
@@ -60,6 +74,17 @@ def contact_forces(
     r = np.maximum(r, 1e-12 * cutoff)
     mag = stiffness * (1.0 - r / cutoff)
     fij = (mag / r)[:, None] * d
-    np.add.at(forces, i, fij)
-    np.add.at(forces, j, -fij)
+    # bincount over the stacked (i, j) index — same dense-scatter pattern
+    # as ibm.coupling.spread_with_stencil, and much faster than the two
+    # np.add.at passes it replaces.  Summation order per vertex matches
+    # the old path exactly: +fij contributions in pair order, then -fij.
+    m = len(i)
+    idx = _scratch_buf("pair_idx", (2 * m,), np.int64)
+    idx[:m] = i
+    idx[m:] = j
+    w = _scratch_buf("pair_w", (2 * m,))
+    for axis in range(3):
+        w[:m] = fij[:, axis]
+        np.negative(fij[:, axis], out=w[m:])
+        forces[:, axis] = np.bincount(idx, weights=w, minlength=n)
     return forces

@@ -38,8 +38,14 @@ def find_overlapping_vertices(
 def build_subgrid(cells: list["Cell"], cutoff: float) -> UniformSubgrid:
     """Subgrid of all cell vertices labeled by owning global ID."""
     grid = UniformSubgrid(cell_size=cutoff)
-    for cell in cells:
-        grid.insert(cell.vertices, cell.global_id)
+    if cells:
+        grid.insert(
+            np.concatenate([c.vertices for c in cells]),
+            np.repeat(
+                np.array([c.global_id for c in cells], dtype=np.int64),
+                [len(c.vertices) for c in cells],
+            ),
+        )
     return grid
 
 

@@ -11,6 +11,17 @@ a single lattice:
 
 The same stepper drives the fine window inside the APR model; the eFSI
 reference simply uses it over the whole domain.
+
+The cell-side phases (1, 2 and 4) execute on a
+:class:`~repro.parallel.fsi.ParallelFSIRuntime`, which shards membrane
+forces by cell chunk and the IBM spread/interpolation by marker and
+lattice-node chunk across the ``serial`` | ``threads`` | ``processes``
+executor backends.  Every backend is bitwise identical to the serial
+step; pick one with ``backend=`` / ``workers=`` or the
+``REPRO_PARALLEL_BACKEND`` / ``REPRO_PARALLEL_WORKERS`` environment
+variables.  The worker pool and its shared-memory segments are created
+lazily on the first cell-laden step and released by :meth:`close` (or a
+GC finalizer when the stepper is dropped unclosed).
 """
 
 from __future__ import annotations
@@ -22,9 +33,11 @@ import numpy as np
 from ..ibm.coupling import IBMCoupler
 from ..lbm.grid import Grid
 from ..lbm.solver import BoundaryHandler, LBMSolver
+from ..parallel.fsi import ParallelFSIRuntime, resolve_fsi_backend
 from ..telemetry import get_telemetry
 from ..units import UnitSystem
 from .cell_manager import CellManager
+from .walls import WallProximityPrefilter
 
 
 class FSIStepper:
@@ -52,6 +65,10 @@ class FSIStepper:
         Optional SDF geometry: vertices within ``wall_cutoff`` of the
         wall receive a short-range repulsion keeping cells out of the
         unresolved lubrication layer (see :mod:`repro.fsi.walls`).
+    backend, workers:
+        Executor backend and worker count for the parallel FSI runtime
+        (``None``: resolve from the ``REPRO_PARALLEL_*`` environment,
+        defaulting to ``serial``).
     """
 
     def __init__(
@@ -66,15 +83,24 @@ class FSIStepper:
         wall_geometry=None,
         wall_cutoff: float = 0.5e-6,
         wall_stiffness: float = 2.0e-10,
+        backend: str | None = None,
+        workers: int | None = None,
     ) -> None:
         self.grid = grid
         self.units = units
         self.cells = cells if cells is not None else CellManager()
+        # Retained for direct IBM access (tests, diagnostics); the hot
+        # path routes through the parallel runtime instead.
         self.coupler = IBMCoupler(grid, kernel=kernel, mode=mode)
         self.solver = LBMSolver(grid, boundaries)
+        self.kernel = kernel
+        self.mode = mode
         self.wall_geometry = wall_geometry
         self.wall_cutoff = wall_cutoff
         self.wall_stiffness = wall_stiffness
+        self.backend, self.n_workers = resolve_fsi_backend(backend, workers)
+        self._runtime: ParallelFSIRuntime | None = None
+        self._wall_prefilter: WallProximityPrefilter | None = None
         self.body_force_lattice = np.zeros(3)
         if body_force is not None:
             self.body_force_lattice = np.array(
@@ -89,6 +115,37 @@ class FSIStepper:
         self._step_generation = -1
 
     # ------------------------------------------------------------------
+    @property
+    def runtime(self) -> ParallelFSIRuntime:
+        """The parallel FSI runtime (created lazily on first use).
+
+        Lazy so that short-lived helper steppers (seeding equilibration)
+        and cell-free runs never pay for a worker pool.
+        """
+        if self._runtime is None:
+            self._runtime = ParallelFSIRuntime(
+                self.grid,
+                kernel=self.kernel,
+                mode=self.mode,
+                backend=self.backend,
+                n_workers=self.n_workers,
+            )
+        return self._runtime
+
+    def close(self) -> None:
+        """Release the runtime's worker pool and shared memory (idempotent)."""
+        if self._runtime is not None:
+            self._runtime.close()
+            self._runtime = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+    # ------------------------------------------------------------------
     def step(self, n: int = 1) -> None:
         """Advance fluid and cells by ``n`` steps of this level's dt."""
         tel = get_telemetry()
@@ -99,6 +156,15 @@ class FSIStepper:
             self._advect_cells(tel)
             self.step_count += 1
 
+    def _wall_forces(self, verts: np.ndarray) -> np.ndarray:
+        """Wall repulsion via the cached per-window SDF prefilter."""
+        pf = self._wall_prefilter
+        if pf is None or not pf.matches(self.grid):
+            pf = self._wall_prefilter = WallProximityPrefilter(
+                self.wall_geometry, self.grid, self.wall_cutoff
+            )
+        return pf.forces(verts, self.wall_cutoff, self.wall_stiffness)
+
     def _spread_forces(self, tel=None) -> None:
         if tel is None:
             tel = get_telemetry()
@@ -108,18 +174,15 @@ class FSIStepper:
         self._step_cells = None
         if self.cells.n_cells == 0:
             return
+        rt = self.runtime
         with tel.phase("forces"):
-            forces, verts, cells = self.cells.total_forces()
+            forces, verts, cells = rt.total_forces(self.cells)
             if self.wall_geometry is not None:
-                from .walls import wall_repulsion_forces
-
-                forces = forces + wall_repulsion_forces(
-                    self.wall_geometry, verts, self.wall_cutoff, self.wall_stiffness
-                )
+                forces = forces + self._wall_forces(verts)
             forces_lat = forces * self.units.force_to_lattice(1.0)
         with tel.phase("spread"):
-            self.coupler.begin_step(verts)
-            self.coupler.spread_forces(verts, forces_lat)
+            rt.begin_step(verts)
+            rt.spread(forces_lat, g.force)
         self._step_verts = verts
         self._step_cells = cells
         self._step_generation = self.cells.generation
@@ -129,17 +192,20 @@ class FSIStepper:
             return
         if tel is None:
             tel = get_telemetry()
+        rt = self.runtime
         with tel.phase("advect"):
             u = self.solver.velocity()
             verts = self._step_verts
             if verts is None or self._step_generation != self.cells.generation:
                 # Population changed since the spread (or spread was
-                # skipped): rebuild the snapshot and drop the stencil.
-                self.coupler.end_step()
+                # skipped): rebuild the snapshot and the marker stencil.
+                rt.end_step()
+                rt.sync_population(self.cells)
                 verts, _, _ = self.cells.packed_vertices()
-            v_lat = self.coupler.interpolate_velocity(verts, u)
+                rt.begin_step(verts)
+            v_lat = rt.interpolate(u)
             # Vertices move now — the cached stencil must not outlive them.
-            self.coupler.end_step()
+            rt.end_step()
             self._step_verts = None
             self._step_cells = None
             # One lattice time step: dx_lat = u_lat * 1, physical = u_lat * dx.

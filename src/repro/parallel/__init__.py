@@ -25,6 +25,7 @@ from .executor import (
     resolve_backend,
 )
 from .distributed import HALO_MODES, DistributedLBMSolver
+from .fsi import FSI_PHASES, ParallelFSIRuntime, resolve_fsi_backend
 from .measure import (
     measure_throughput,
     measured_scaling_curve,
@@ -47,6 +48,9 @@ __all__ = [
     "make_executor",
     "resolve_backend",
     "DistributedLBMSolver",
+    "FSI_PHASES",
+    "ParallelFSIRuntime",
+    "resolve_fsi_backend",
     "measure_throughput",
     "measured_scaling_curve",
     "measured_weak_scaling",

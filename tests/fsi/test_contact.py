@@ -48,6 +48,58 @@ def test_zero_cutoff_disables():
     assert np.allclose(f, 0.0)
 
 
+def _reference_contact(verts, cells, cutoff, stiffness):
+    """Pre-optimization scatter: two np.add.at passes over the pair list."""
+    from scipy.spatial import cKDTree
+
+    forces = np.zeros_like(verts, dtype=np.float64)
+    if cutoff <= 0.0 or len(verts) < 2:
+        return forces
+    pairs = cKDTree(verts).query_pairs(cutoff, output_type="ndarray")
+    if len(pairs) == 0:
+        return forces
+    i, j = pairs[:, 0], pairs[:, 1]
+    keep = np.asarray(cells)[i] != np.asarray(cells)[j]
+    i, j = i[keep], j[keep]
+    if len(i) == 0:
+        return forces
+    d = verts[i] - verts[j]
+    dist = np.linalg.norm(d, axis=1)
+    dist = np.maximum(dist, 1e-12 * cutoff)
+    mag = stiffness * (1.0 - dist / cutoff)
+    fij = (mag / dist)[:, None] * d
+    np.add.at(forces, i, fij)
+    np.add.at(forces, j, -fij)
+    return forces
+
+
+def test_bincount_scatter_bitwise_equals_add_at(rng):
+    """The bincount scatter must reproduce the add.at path bit-for-bit
+    (same per-vertex summation order)."""
+    for n in (2, 17, 120):
+        verts = rng.uniform(0.0, 1.5, size=(n, 3))
+        cells = rng.integers(0, max(2, n // 8), size=n)
+        got = contact_forces(verts, cells, cutoff=0.4, stiffness=1.7)
+        want = _reference_contact(verts, cells, 0.4, 1.7)
+        assert np.array_equal(got, want)
+
+
+def test_scratch_reuse_across_calls(rng):
+    """Repeated calls reuse scratch buffers without corrupting results.
+
+    Call sites fold the returned array immediately, so the module-level
+    scratch may be recycled; a second call with different input must not
+    perturb a copy taken from the first."""
+    verts_a = rng.uniform(0.0, 1.0, size=(30, 3))
+    cells_a = rng.integers(0, 4, size=30)
+    first = contact_forces(verts_a, cells_a, cutoff=0.5, stiffness=1.0).copy()
+    verts_b = rng.uniform(0.0, 1.0, size=(45, 3))
+    cells_b = rng.integers(0, 4, size=45)
+    contact_forces(verts_b, cells_b, cutoff=0.5, stiffness=2.0)
+    again = contact_forces(verts_a, cells_a, cutoff=0.5, stiffness=1.0)
+    assert np.array_equal(first, again)
+
+
 def test_three_body_superposition():
     """Middle vertex feels the sum of both pair forces."""
     verts = np.array([[-0.3, 0, 0], [0.0, 0, 0], [0.3, 0, 0]])

@@ -72,3 +72,99 @@ def test_matches_brute_force(seed, radius):
     idx, found = g.query(probe, radius)
     brute = np.nonzero(((pts - probe) ** 2).sum(axis=1) <= radius * radius)[0]
     assert set(idx.tolist()) == set(brute.tolist())
+
+
+# -- CSR-index edge cases ---------------------------------------------------
+
+
+def test_points_straddling_bin_zero():
+    """Points just below and above zero land in different bins but both
+    fall inside a query spanning the origin."""
+    g = UniformSubgrid(cell_size=1.0)
+    pts = np.array([[-1e-9, 0.0, 0.0], [1e-9, 0.0, 0.0], [-0.999, 0.0, 0.0]])
+    g.insert(pts, labels=np.array([1, 2, 3]))
+    idx, labels = g.query(np.zeros(3), radius=0.5)
+    assert set(labels.tolist()) == {1, 2}
+    assert g.query_labels_near(np.array([[0.0, 0.0, 0.0]]), 1.0) == {1, 2, 3}
+
+
+def test_duplicate_points_all_reported():
+    g = UniformSubgrid(cell_size=1.0)
+    p = np.array([[0.25, 0.25, 0.25]])
+    g.insert(np.repeat(p, 4, axis=0), labels=np.array([5, 6, 5, 7]))
+    idx, labels = g.query(p[0], radius=0.1)
+    assert len(idx) == 4
+    assert sorted(labels.tolist()) == [5, 5, 6, 7]
+    assert g.query_labels_near(p, 0.1) == {5, 6, 7}
+
+
+def test_radius_exactly_cell_size():
+    """radius == cell_size is the largest legal radius; a point exactly
+    one cell away (touching the 27-neighborhood boundary) must be found."""
+    g = UniformSubgrid(cell_size=1.0)
+    g.insert(np.array([[1.0, 0.0, 0.0], [0.0, 0.0, 0.0]]),
+             labels=np.array([1, 2]))
+    idx, labels = g.query(np.zeros(3), radius=1.0)
+    assert set(labels.tolist()) == {1, 2}
+    assert g.query_labels_near(np.zeros((1, 3)), 1.0) == {1, 2}
+
+
+def test_empty_grid_queries():
+    g = UniformSubgrid(cell_size=1.0)
+    idx, labels = g.query(np.zeros(3), radius=0.5)
+    assert len(idx) == 0 and len(labels) == 0
+    assert g.query_labels_near(np.zeros((3, 3)), 0.5) == set()
+    assert g.query_labels_near(np.empty((0, 3)), 0.5) == set()
+
+
+def test_incremental_rebuild_after_query():
+    """Inserting after a query must re-index: the new points are visible
+    and earlier results stay correct."""
+    g = UniformSubgrid(cell_size=1.0)
+    g.insert(np.array([[0.0, 0.0, 0.0]]), labels=1)
+    assert g.query_labels_near(np.zeros((1, 3)), 0.5) == {1}
+    g.insert(np.array([[0.2, 0.0, 0.0], [4.0, 4.0, 4.0]]),
+             labels=np.array([2, 3]))
+    assert g.query_labels_near(np.zeros((1, 3)), 0.5) == {1, 2}
+    g.insert(np.array([[0.0, 0.3, 0.0]]), labels=4)
+    assert g.query_labels_near(np.zeros((1, 3)), 0.5) == {1, 2, 4}
+    idx, _ = g.query(np.array([4.0, 4.0, 4.0]), radius=0.5)
+    assert idx.tolist() == [2]
+
+
+def test_batched_query_has_no_per_point_python_path(monkeypatch):
+    """query_labels_near must not fall back to per-point query() calls."""
+    g = UniformSubgrid(cell_size=1.0)
+    g.insert(np.array([[0.0, 0.0, 0.0], [1.0, 1.0, 1.0]]),
+             labels=np.array([1, 2]))
+
+    def boom(*args, **kwargs):  # pragma: no cover - must never run
+        raise AssertionError("query_labels_near iterated per point")
+
+    monkeypatch.setattr(UniformSubgrid, "query", boom)
+    probes = np.array([[0.1, 0.0, 0.0], [1.1, 1.0, 1.0], [9.0, 9.0, 9.0]])
+    assert g.query_labels_near(probes, 0.5) == {1, 2}
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    seed=st.integers(0, 1_000_000),
+    radius=st.floats(0.05, 1.0),
+    cell_size=st.floats(1.0, 3.0),
+)
+def test_batched_labels_match_brute_force(seed, radius, cell_size):
+    """Property (>=100 seeds): batched query_labels_near == brute force
+    on randomized clouds, including negative coordinates and duplicates."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(1, 80))
+    pts = rng.uniform(-3.0, 3.0, size=(n, 3))
+    if n > 4:  # inject exact duplicates
+        pts[-2:] = pts[:2]
+    labels = rng.integers(0, 12, size=n)
+    g = UniformSubgrid(cell_size=cell_size)
+    g.insert(pts, labels)
+    probes = rng.uniform(-3.5, 3.5, size=(int(rng.integers(1, 20)), 3))
+    got = g.query_labels_near(probes, radius)
+    d2 = ((pts[None, :, :] - probes[:, None, :]) ** 2).sum(axis=-1)
+    hit = (d2 <= radius * radius).any(axis=0)
+    assert got == set(np.unique(labels[hit]).tolist())

@@ -3,7 +3,9 @@
 import numpy as np
 
 from repro.fsi import wall_normals_from_sdf, wall_repulsion_forces
+from repro.fsi.walls import WallProximityPrefilter
 from repro.geometry import Tube
+from repro.lbm import Grid
 
 CUTOFF = 1.0e-6
 K = 1e-10
@@ -71,3 +73,52 @@ def test_empty_input():
     tube = Tube(radius=10e-6)
     f = wall_repulsion_forces(tube, np.empty((0, 3)), CUTOFF, K)
     assert f.shape == (0, 3)
+
+
+# -- lattice-sampled proximity prefilter ------------------------------------
+
+
+def _tube_grid(radius=10e-6, shape=(12, 12, 12)):
+    spacing = 2.0 * radius / (shape[1] - 1)
+    origin = np.array([-radius, -radius, 0.0])
+    return Grid(shape, tau=0.9, origin=origin, spacing=spacing)
+
+
+def test_prefilter_bitwise_equals_unfiltered(rng):
+    """Prefiltered wall forces == exact pass, bit for bit, on a vertex
+    cloud spanning deep-fluid, near-wall, past-wall and out-of-window."""
+    tube = Tube(radius=10e-6)
+    grid = _tube_grid()
+    pf = WallProximityPrefilter(tube, grid, CUTOFF)
+    verts = np.concatenate([
+        rng.uniform(-4e-6, 4e-6, size=(40, 3)),          # deep in the fluid
+        np.array([[9.6e-6, 0, 0], [0, 9.9e-6, 5e-6],
+                  [10.3e-6, 0, 0]]),                     # near / past wall
+        np.array([[25e-6, 25e-6, 25e-6]]),               # outside window
+    ])
+    got = pf.forces(verts, CUTOFF, K)
+    want = wall_repulsion_forces(tube, verts, CUTOFF, K)
+    assert np.array_equal(got, want)
+    # The deep-fluid block must actually have been skipped, not recomputed.
+    assert np.allclose(got[:40], 0.0)
+
+
+def test_prefilter_matches_tracks_window_placement():
+    tube = Tube(radius=10e-6)
+    grid = _tube_grid()
+    pf = WallProximityPrefilter(tube, grid, CUTOFF)
+    assert pf.matches(grid)
+    moved = Grid(grid.shape, tau=0.9,
+                 origin=grid.origin + grid.spacing, spacing=grid.spacing)
+    assert not pf.matches(moved)
+
+
+def test_prefilter_plain_callable_sdf():
+    sdf = lambda p: p[..., 0] - 5e-6  # noqa: E731 - wall at x = 5 um
+    grid = Grid((10, 10, 10), tau=0.9, origin=np.zeros(3), spacing=1e-6)
+    pf = WallProximityPrefilter(sdf, grid, CUTOFF)
+    verts = np.array([[4.6e-6, 2e-6, 2e-6], [1e-6, 2e-6, 2e-6]])
+    got = pf.forces(verts, CUTOFF, K)
+    want = wall_repulsion_forces(sdf, verts, CUTOFF, K)
+    assert np.array_equal(got, want)
+    assert got[0, 0] < 0 and np.allclose(got[1], 0.0)

@@ -186,6 +186,10 @@ def test_generation_bumps_on_insert_and_remove():
 
 
 def test_exactly_one_weights_call_per_step(monkeypatch):
+    # Pinned to the serial backend: pooled backends build one stencil
+    # chunk per worker (still once per marker), and process workers are
+    # outside the monkeypatch's reach.
+    monkeypatch.setenv("REPRO_PARALLEL_BACKEND", "serial")
     st, _ = _stepper()
     calls = []
     real = coupling._weights_and_indices
