@@ -10,6 +10,9 @@ downstream user can regenerate any paper artifact without writing code:
     python -m repro scaling
     python -m repro scaling --measured --backend processes --workers 4
     python -m repro profile tube --steps 50 --telemetry-dir out/
+    python -m repro campaign run sweep.toml --out out/sweep
+    python -m repro campaign status out/sweep
+    python -m repro campaign resume out/sweep
 
 Experiment subcommands accept ``--telemetry-dir DIR`` to record phase
 timings, metrics and events for the run (``events.jsonl`` +
@@ -172,6 +175,46 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    if args.campaign_command == "_worker":
+        from .service.worker import main as worker_main
+
+        return worker_main(
+            ["--dir", args.dir, "--job", args.job, "--attempt",
+             str(args.attempt)]
+        )
+
+    from .service import (
+        CampaignRunner,
+        build_report,
+        load_manifest,
+        render_report,
+    )
+    from .service.worker import MANIFEST_FILENAME, load_campaign_manifest
+
+    if args.campaign_command == "run":
+        manifest = load_manifest(args.manifest)
+        report = CampaignRunner(manifest, args.out).run()
+        print(render_report(report))
+        return 0 if report["counts"]["failed"] == 0 else 1
+    if args.campaign_command == "resume":
+        from pathlib import Path
+
+        if not (Path(args.dir) / MANIFEST_FILENAME).exists():
+            print(f"error: {args.dir} has no {MANIFEST_FILENAME}; "
+                  "was this directory created by 'campaign run'?",
+                  file=sys.stderr)
+            return 2
+        manifest = load_campaign_manifest(args.dir)
+        report = CampaignRunner(manifest, args.dir).run(resume=True)
+        print(render_report(report))
+        return 0 if report["counts"]["failed"] == 0 else 1
+    # status: read-only aggregate of whatever the ledger/results show.
+    report = build_report(args.dir)
+    print(render_report(report))
+    return 0
+
+
 def _add_telemetry_flag(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--telemetry-dir",
@@ -256,6 +299,40 @@ def build_parser() -> argparse.ArgumentParser:
                    help="FSI worker count (default: REPRO_PARALLEL_WORKERS)")
     _add_telemetry_flag(p)
     p.set_defaults(func=_cmd_profile)
+
+    p = sub.add_parser(
+        "campaign",
+        help="schedule many simulations from a manifest "
+             "(run / status / resume); see docs/campaign.md",
+    )
+    csub = p.add_subparsers(dest="campaign_command", required=True)
+
+    pc = csub.add_parser("run", help="run a campaign from a manifest file")
+    pc.add_argument("manifest", help="TOML or JSON campaign manifest")
+    pc.add_argument("--out", required=True, metavar="DIR",
+                    help="campaign output directory (ledger, jobs/, report)")
+    pc.set_defaults(func=_cmd_campaign)
+
+    pc = csub.add_parser(
+        "status", help="summarize a campaign directory without running it"
+    )
+    pc.add_argument("dir", help="campaign directory from 'campaign run'")
+    pc.set_defaults(func=_cmd_campaign)
+
+    pc = csub.add_parser(
+        "resume",
+        help="continue an interrupted campaign: completed jobs are kept, "
+             "the rest restart from their last checkpoint shard",
+    )
+    pc.add_argument("dir", help="campaign directory from 'campaign run'")
+    pc.set_defaults(func=_cmd_campaign)
+
+    # Internal: one-job worker subprocess launched by the scheduler.
+    pc = csub.add_parser("_worker")
+    pc.add_argument("--dir", required=True)
+    pc.add_argument("--job", required=True)
+    pc.add_argument("--attempt", type=int, default=1)
+    pc.set_defaults(func=_cmd_campaign)
 
     return parser
 

@@ -422,26 +422,36 @@ class APRSimulation:
     # ------------------------------------------------------------------
     # checkpointing (long campaigns: the paper's cerebral run spans days)
     # ------------------------------------------------------------------
-    def save(self, path) -> None:
-        """Checkpoint lattice state, cells and window to an npz archive."""
+    def save(self, path, extra: dict | None = None) -> None:
+        """Checkpoint lattice state, cells and window to an npz archive.
+
+        ``extra`` entries ride along in the checkpoint's extra payload
+        (experiment drivers stash trajectory history there) and come back
+        from :meth:`restore`'s return value.
+        """
         from ..io.checkpoint import save_checkpoint
 
         assert self.fine is not None and self.window is not None
+        payload = {"window_center": self.window.center}
+        if extra:
+            payload.update(extra)
         save_checkpoint(
             path,
             step=self.coarse_step_count,
             f_coarse=self.coarse.grid.f,
             manager=self.cells,
             f_fine=self.fine.grid.f,
-            extra={"window_center": self.window.center},
+            extra=payload,
         )
 
-    def restore(self, path) -> None:
+    def restore(self, path) -> dict:
         """Restore a checkpoint written by :meth:`save`.
 
         The simulation must have been constructed with the same config
         and coarse domain; the window is re-placed at the stored center,
         the cell population replaced, and both lattices overwritten.
+        Returns the loaded checkpoint dict so callers can recover any
+        ``extra`` payload they saved.
         """
         from ..io.checkpoint import load_checkpoint
         from ..membrane.cell import CellKind
@@ -467,6 +477,24 @@ class APRSimulation:
                 if clone.kind is CellKind.CTC:
                     self.ctc = clone
         self.coarse_step_count = data["step"]
+        return data
+
+    def close(self) -> None:
+        """Release the fine stepper's parallel runtime (idempotent).
+
+        Back-to-back short runs in one process (campaign jobs, parameter
+        sweeps) must tear their worker pools and shared-memory segments
+        down deterministically instead of leaning on GC finalizers.
+        """
+        if self.fine is not None:
+            self.fine.close()
+
+    def __enter__(self) -> "APRSimulation":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
 
     def move_window(self) -> MoveReport:
         """Relocate the window onto the CTC (capture/fill algorithm)."""

@@ -30,8 +30,9 @@ from ..geometry.voxelize import solid_mask_from_sdf
 from ..lbm.boundaries import BounceBackWalls, OutflowOutlet, VelocityInlet
 from ..lbm.grid import Grid
 from ..lbm.solver import LBMSolver
-from ..membrane.cell import make_ctc
+from ..membrane.cell import CellKind, make_ctc
 from ..units import UnitSystem
+from .runseam import checkpoint_interval, filter_params, iter_segments
 
 
 @dataclass
@@ -155,11 +156,25 @@ def _seed_everywhere(
     return len(added)
 
 
+def _replace_population(manager: CellManager, restored: CellManager | None) -> None:
+    """Swap ``manager``'s cells for a checkpoint-restored population.
+
+    Mutated in place because the stepper already holds this manager
+    instance; clones keep the restored manager's arrays independent.
+    """
+    for gid in [c.global_id for c in manager.cells]:
+        manager.remove(gid)
+    if restored is not None:
+        for cell in sorted(restored.cells, key=lambda c: c.global_id):
+            manager.add(cell.copy())
+
+
 def run_expanding_channel_efsi(
     seed: int = 0,
     params: ChannelParams | None = None,
     steps: int = 1500,
     sample_every: int = 25,
+    checkpointer=None,
 ) -> ExpandingChannelResult:
     """Fully-resolved reference: RBCs everywhere on the fine lattice."""
     params = params or ChannelParams()
@@ -202,27 +217,53 @@ def run_expanding_channel_efsi(
     # Remove cells that exit downstream so they do not pile on the outlet.
     z_exit = origin[2] + dx * (nz - 3)
 
-    traj = [ctc.centroid().copy()]
-    times = [0.0]
-    for s in range(steps):
-        stepper.step()
-        if (s + 1) % sample_every == 0:
-            manager.remove_where(
-                lambda c: c.global_id != ctc.global_id
-                and c.centroid()[2] > z_exit
-            )
-            traj.append(ctc.centroid().copy())
-            times.append((s + 1) * dt)
-    return ExpandingChannelResult(
-        method="efsi",
-        trajectory=np.array(traj),
-        times=np.array(times),
-        n_rbcs=n_rbc,
-        n_fluid_nodes=int((~grid.solid).sum()),
-        seed=seed,
-        params=params,
-        extras={"steps": steps},
-    )
+    try:
+        traj = [ctc.centroid().copy()]
+        times = [0.0]
+        step_done = 0
+        if checkpointer is not None:
+            data = checkpointer.load()
+            if data is not None:
+                step_done = data["step"]
+                grid.f[:] = data["f_coarse"]
+                grid.mark_f_modified()
+                _replace_population(manager, data["manager"])
+                ctc = next(
+                    c for c in manager.cells if c.kind is CellKind.CTC
+                )
+                traj = [r.copy() for r in data["extra"]["traj"]]
+                times = list(data["extra"]["times"])
+        every = checkpoint_interval(checkpointer)
+        for seg in iter_segments(step_done, steps, every):
+            for _ in range(seg):
+                stepper.step()
+                step_done += 1
+                if step_done % sample_every == 0:
+                    manager.remove_where(
+                        lambda c: c.global_id != ctc.global_id
+                        and c.centroid()[2] > z_exit
+                    )
+                    traj.append(ctc.centroid().copy())
+                    times.append(step_done * dt)
+            if checkpointer is not None and every > 0:
+                checkpointer.save(
+                    step=step_done,
+                    f_coarse=grid.f,
+                    manager=manager,
+                    extra={"traj": np.array(traj), "times": np.array(times)},
+                )
+        return ExpandingChannelResult(
+            method="efsi",
+            trajectory=np.array(traj),
+            times=np.array(times),
+            n_rbcs=n_rbc,
+            n_fluid_nodes=int((~grid.solid).sum()),
+            seed=seed,
+            params=params,
+            extras={"steps": steps},
+        )
+    finally:
+        stepper.close()
 
 
 def run_expanding_channel_apr(
@@ -231,6 +272,7 @@ def run_expanding_channel_apr(
     steps: int | None = None,
     sample_every: int = 10,
     window_spec: WindowSpec | None = None,
+    checkpointer=None,
 ) -> ExpandingChannelResult:
     """APR model: cells only inside a moving window around the CTC."""
     params = params or ChannelParams()
@@ -288,34 +330,98 @@ def run_expanding_channel_apr(
         coarse_units=units,
         geometry=channel,
     )
-    ctc = make_ctc(
-        ctc_center,
-        global_id=sim.cells.allocate_id(),
-        diameter=params.ctc_diameter,
-        subdivisions=params.rbc_subdivisions,
-    )
-    sim.add_ctc(ctc)
-    n_rbc = sim.fill_window()
+    try:
+        if steps is None:
+            # Same physical duration as the default eFSI run (dt_c = n * dt_f).
+            steps = 1500 // n
+        resume_data = None
+        if checkpointer is not None:
+            resume_data = checkpointer.load()
+        if resume_data is not None:
+            sim.restore(checkpointer.path)
+            assert sim.ctc is not None
+            ctc = sim.ctc
+            n_rbc = int(resume_data["extra"]["n_rbc"])
+            traj = [r.copy() for r in resume_data["extra"]["traj"]]
+            times = list(resume_data["extra"]["times"])
+        else:
+            ctc = make_ctc(
+                ctc_center,
+                global_id=sim.cells.allocate_id(),
+                diameter=params.ctc_diameter,
+                subdivisions=params.rbc_subdivisions,
+            )
+            sim.add_ctc(ctc)
+            n_rbc = sim.fill_window()
+            traj = [ctc.centroid().copy()]
+            times = [0.0]
+        every = checkpoint_interval(checkpointer)
+        for seg in iter_segments(sim.coarse_step_count, steps, every):
+            for _ in range(seg):
+                sim.step()
+                # A window move swaps the tracked CTC instance.
+                ctc = sim.ctc if sim.ctc is not None else ctc
+                if sim.coarse_step_count % sample_every == 0:
+                    traj.append(ctc.centroid().copy())
+                    times.append(sim.time)
+            if checkpointer is not None and every > 0:
+                checkpointer.save_with(
+                    lambda p: sim.save(
+                        p,
+                        extra={
+                            "n_rbc": n_rbc,
+                            "traj": np.array(traj),
+                            "times": np.array(times),
+                        },
+                    )
+                )
+        assert sim.fine is not None
+        return ExpandingChannelResult(
+            method="apr",
+            trajectory=np.array(traj),
+            times=np.array(times),
+            n_rbcs=n_rbc,
+            n_fluid_nodes=int((~cg.solid).sum())
+            + int((~sim.fine.grid.solid).sum()),
+            seed=seed,
+            params=params,
+            extras={"steps": steps, "window_moves": len(sim.move_reports)},
+        )
+    finally:
+        sim.close()
 
-    if steps is None:
-        # Same physical duration as the default eFSI run (dt_c = n * dt_f).
-        steps = 1500 // n
-    traj = [ctc.centroid().copy()]
-    times = [0.0]
-    for s in range(steps):
-        sim.step()
-        if (s + 1) % sample_every == 0:
-            traj.append(ctc.centroid().copy())
-            times.append(sim.time)
-    assert sim.fine is not None
-    return ExpandingChannelResult(
-        method="apr",
-        trajectory=np.array(traj),
-        times=np.array(times),
-        n_rbcs=n_rbc,
-        n_fluid_nodes=int((~cg.solid).sum())
-        + int((~sim.fine.grid.solid).sum()),
-        seed=seed,
-        params=params,
-        extras={"steps": steps, "window_moves": len(sim.move_reports)},
-    )
+
+def run_from_params(params: dict, *, checkpointer=None) -> dict:
+    """Uniform campaign entry for the expanding-channel CTC transit.
+
+    ``params`` may carry a ``method`` key (``"apr"``, the default, or
+    ``"efsi"``); ``ChannelParams`` field names are accepted alongside the
+    runner's own keywords and folded into the params dataclass.
+    """
+    params = dict(params)
+    method = params.pop("method", "apr")
+    runner = {
+        "apr": run_expanding_channel_apr,
+        "efsi": run_expanding_channel_efsi,
+    }.get(method)
+    if runner is None:
+        raise ValueError(f"unknown method {method!r}; pick 'apr' or 'efsi'")
+    channel_fields = {f.name for f in ChannelParams.__dataclass_fields__.values()}
+    overrides = {k: params.pop(k) for k in list(params) if k in channel_fields}
+    kwargs = filter_params(runner, params)
+    if overrides:
+        kwargs["params"] = ChannelParams(**overrides)
+    r = runner(**kwargs, checkpointer=checkpointer)
+    from ..analytics import radial_displacement
+
+    rad = radial_displacement(r.trajectory)
+    return {
+        "experiment": "expanding_channel",
+        "method": r.method,
+        "n_rbcs": int(r.n_rbcs),
+        "n_fluid_nodes": int(r.n_fluid_nodes),
+        "z_final_um": float(r.trajectory[-1, 2] * 1e6),
+        "radial_initial_um": float(rad[0] * 1e6),
+        "radial_final_um": float(rad[-1] * 1e6),
+        "steps": int(r.extras["steps"]),
+    }

@@ -1,0 +1,81 @@
+"""Shared plumbing for the uniform ``run_from_params`` experiment seam.
+
+Every experiment module exposes::
+
+    run_from_params(params: dict, *, checkpointer=None) -> dict
+
+taking a flat dict of keyword overrides for its native ``run_*`` driver
+and returning a JSON-able summary.  The campaign service
+(:mod:`repro.service`) dispatches manifest jobs through this seam, but it
+is equally usable by hand — notebooks and sweep scripts get one uniform
+calling convention across experiments.
+
+``checkpointer`` is duck-typed (the experiments never import the service
+layer): any object with
+
+* ``every`` — int, coarse steps between checkpoints (0 disables),
+* ``load() -> dict | None`` — last checkpoint payload in the
+  :mod:`repro.io.checkpoint` dict format, or ``None`` when starting fresh,
+* ``save(step=..., f_coarse=..., ...)`` — atomic
+  :func:`~repro.io.checkpoint.save_checkpoint` write,
+* ``save_with(fn)`` — atomic write through a ``fn(path)`` callback (for
+  simulations that own their checkpoint format, e.g.
+  :meth:`~repro.core.apr.APRSimulation.save`),
+* ``path`` — the checkpoint file location (for path-based restores).
+
+:class:`repro.service.checkpointing.JobCheckpointer` is the reference
+implementation.
+"""
+
+from __future__ import annotations
+
+import inspect
+from collections.abc import Iterator
+
+
+def filter_params(fn, params: dict) -> dict:
+    """Validate a flat params dict against ``fn``'s keyword surface.
+
+    Unknown keys raise ``ValueError`` naming the offender and the
+    accepted set, so a manifest typo fails the job loudly at admission
+    instead of silently running defaults.
+    """
+    sig = inspect.signature(fn)
+    accepted = {
+        name
+        for name, p in sig.parameters.items()
+        if p.kind in (p.POSITIONAL_OR_KEYWORD, p.KEYWORD_ONLY)
+        and name != "checkpointer"
+    }
+    unknown = set(params) - accepted
+    if unknown:
+        raise ValueError(
+            f"unknown parameter(s) {sorted(unknown)} for {fn.__name__}; "
+            f"accepted: {sorted(accepted)}"
+        )
+    return dict(params)
+
+
+def checkpoint_interval(checkpointer) -> int:
+    """The checkpoint cadence in steps; 0 when checkpointing is off."""
+    if checkpointer is None:
+        return 0
+    return max(0, int(getattr(checkpointer, "every", 0)))
+
+
+def iter_segments(start: int, total: int, every: int) -> Iterator[int]:
+    """Yield step-chunk sizes from ``start`` up to ``total``.
+
+    With ``every <= 0`` the remaining budget comes out as one chunk;
+    otherwise chunks are aligned to multiples of ``every`` so a resumed
+    run checkpoints on the same step numbers the original would have.
+    """
+    done = int(start)
+    total = int(total)
+    while done < total:
+        if every <= 0:
+            size = total - done
+        else:
+            size = min(every - done % every, total - done)
+        yield size
+        done += size

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..analytics.shear import l2_error_norm, three_layer_couette_profile
+from .runseam import checkpoint_interval, filter_params, iter_segments
 from ..core.refinement import RefinedRegion
 from ..core.viscosity import tau_fine_from_coarse
 from ..lbm.boundaries import BounceBackWalls
@@ -56,6 +57,7 @@ def run_shear_layers(
     rho: float = 1025.0,
     domain_height: float = 90.0e-6,
     warm_start: bool = True,
+    checkpointer=None,
 ) -> ShearLayersResult:
     """Run the coupled three-layer Couette verification.
 
@@ -75,6 +77,12 @@ def run_shear_layers(
     warm_start:
         Initialize with the single-fluid linear profile (True) instead of
         rest; the *steady state* is unaffected, only convergence time.
+    checkpointer:
+        Optional checkpoint seam (see :mod:`repro.experiments.runseam`):
+        both lattices are snapshotted every ``checkpointer.every`` coarse
+        steps, and an existing checkpoint resumes the run from its stored
+        step — bit-exactly, since the coupled fluid state is fully
+        captured by the two distribution fields.
     """
     if ny_channel % 3 != 0:
         raise ValueError("ny_channel must be divisible by 3 (three equal layers)")
@@ -139,7 +147,20 @@ def run_shear_layers(
         cg.init_equilibrium(1.0, vel)
     coupling.initialize_fine_from_coarse()
 
-    coupling.step(steps)
+    step_done = 0
+    if checkpointer is not None:
+        data = checkpointer.load()
+        if data is not None:
+            cg.f[:] = data["f_coarse"]
+            cg.mark_f_modified()
+            fg.f[:] = data["f_fine"]
+            fg.mark_f_modified()
+            step_done = data["step"]
+    for seg in iter_segments(step_done, steps, checkpoint_interval(checkpointer)):
+        coupling.step(seg)
+        step_done += seg
+        if checkpointer is not None and checkpoint_interval(checkpointer) > 0:
+            checkpointer.save(step=step_done, f_coarse=cg.f, f_fine=fg.f)
 
     # Sample center-line profiles.
     _, u_c = coarse.macroscopic()
@@ -170,3 +191,17 @@ def run_shear_layers(
         u_analytic=analytic(y_ana),
         steps=steps,
     )
+
+
+def run_from_params(params: dict, *, checkpointer=None) -> dict:
+    """Uniform campaign entry: run the shear verification from a params dict."""
+    kwargs = filter_params(run_shear_layers, params)
+    r = run_shear_layers(**kwargs, checkpointer=checkpointer)
+    return {
+        "experiment": "shear_layers",
+        "lam": r.lam,
+        "n": r.n,
+        "error_bulk": float(r.error_bulk),
+        "error_window": float(r.error_window),
+        "steps": int(r.steps),
+    }

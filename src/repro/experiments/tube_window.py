@@ -30,6 +30,7 @@ from ..analytics.rheology import (
     poiseuille_effective_viscosity,
     pries_relative_viscosity,
 )
+from .runseam import checkpoint_interval, filter_params, iter_segments
 from ..constants import CP_TO_PA_S, PLASMA_VISCOSITY_CP
 from ..core.apr import APRConfig, APRSimulation
 from ..core.window import WindowSpec
@@ -70,6 +71,7 @@ def run_tube_window(
     shear_rate: float = 250.0,
     seed: int = 0,
     maintain_interval: int = 10,
+    checkpointer=None,
 ) -> TubeWindowResult:
     """Run the cell-resolved tube-window experiment at one hematocrit.
 
@@ -147,33 +149,72 @@ def run_tube_window(
         geometry=tube,
         window_body_force=np.array([0.0, 0.0, force_density]),
     )
-    n0 = sim.fill_window()
+    try:
+        resume_data = None
+        if checkpointer is not None:
+            resume_data = checkpointer.load()
+        if resume_data is not None:
+            # Restore replaces the (not-yet-seeded) population and both
+            # lattices; the step counter resumes where the checkpoint
+            # left off.  Controller counters restart at zero — the
+            # summary reports churn of the resumed portion only.
+            sim.restore(checkpointer.path)
+            n0 = int(resume_data["extra"].get("n_cells_initial", sim.cells.n_cells))
+        else:
+            n0 = sim.fill_window()
 
-    sim.ht_history.append((0.0, sim.window_hematocrit()))
-    sim.step(steps)
+        sim.ht_history.append((sim.time, sim.window_hematocrit()))
+        every = checkpoint_interval(checkpointer)
+        for seg in iter_segments(sim.coarse_step_count, steps, every):
+            sim.step(seg)
+            if checkpointer is not None and every > 0:
+                checkpointer.save_with(
+                    lambda p: sim.save(p, extra={"n_cells_initial": n0})
+                )
 
-    # Flow rate from the coarse velocity field (mid-tube cross-section).
-    _, u_lat = coarse.macroscopic()
-    fluid = ~cg.solid
-    ksec = nz // 4  # away from the window
-    uz_phys = u_lat[2, :, :, ksec] * (units.dx / units.dt)
-    q = float(uz_phys[fluid[:, :, ksec]].sum()) * coarse_spacing**2
-    dp = force_density * tube_length
-    mu_eff = poiseuille_effective_viscosity(dp, q, R, tube_length)
+        # Flow rate from the coarse velocity field (mid-tube cross-section).
+        _, u_lat = coarse.macroscopic()
+        fluid = ~cg.solid
+        ksec = nz // 4  # away from the window
+        uz_phys = u_lat[2, :, :, ksec] * (units.dx / units.dt)
+        q = float(uz_phys[fluid[:, :, ksec]].sum()) * coarse_spacing**2
+        dp = force_density * tube_length
+        mu_eff = poiseuille_effective_viscosity(dp, q, R, tube_length)
 
-    times = np.array([t for t, _ in sim.ht_history])
-    hts = np.array([h for _, h in sim.ht_history])
-    ctrl = sim.controller
-    return TubeWindowResult(
-        target_hematocrit=hematocrit,
-        times=times,
-        hematocrit=hts,
-        mu_effective=mu_eff,
-        mu_pries=mu_bulk,
-        n_cells_final=sim.cells.n_cells,
-        n_inserted=0 if ctrl is None else ctrl.n_inserted,
-        n_removed=0 if ctrl is None else ctrl.n_removed,
-        flow_rate=q,
-        tube_diameter=tube_diameter,
-        extras={"n_cells_initial": n0, "mu_bulk_set": mu_bulk},
-    )
+        times = np.array([t for t, _ in sim.ht_history])
+        hts = np.array([h for _, h in sim.ht_history])
+        ctrl = sim.controller
+        return TubeWindowResult(
+            target_hematocrit=hematocrit,
+            times=times,
+            hematocrit=hts,
+            mu_effective=mu_eff,
+            mu_pries=mu_bulk,
+            n_cells_final=sim.cells.n_cells,
+            n_inserted=0 if ctrl is None else ctrl.n_inserted,
+            n_removed=0 if ctrl is None else ctrl.n_removed,
+            flow_rate=q,
+            tube_diameter=tube_diameter,
+            extras={"n_cells_initial": n0, "mu_bulk_set": mu_bulk},
+        )
+    finally:
+        # Deterministic worker-pool/shared-memory teardown so repeated
+        # short runs in one process (campaign jobs) never leak segments.
+        sim.close()
+
+
+def run_from_params(params: dict, *, checkpointer=None) -> dict:
+    """Uniform campaign entry: run hematocrit maintenance from a params dict."""
+    kwargs = filter_params(run_tube_window, params)
+    r = run_tube_window(**kwargs, checkpointer=checkpointer)
+    return {
+        "experiment": "tube_window",
+        "target_hematocrit": r.target_hematocrit,
+        "final_hematocrit": float(r.hematocrit[-1]),
+        "mu_effective_cP": r.mu_effective * 1e3,
+        "mu_pries_cP": r.mu_pries * 1e3,
+        "n_cells_final": int(r.n_cells_final),
+        "n_inserted": int(r.n_inserted),
+        "n_removed": int(r.n_removed),
+        "flow_rate": float(r.flow_rate),
+    }

@@ -34,6 +34,7 @@ from ..lbm.grid import Grid
 from ..lbm.solver import LBMSolver
 from ..perfmodel.memory import rbc_count_for_volume, table2_fluid_volumes
 from ..units import UnitSystem
+from .runseam import checkpoint_interval, filter_params
 
 
 @dataclass
@@ -57,6 +58,7 @@ def run_upper_body_sweep(
     refinement: int = 2,
     steps_per_stop: int = 3,
     seed: int = 11,
+    checkpointer=None,
 ) -> UpperBodyResult:
     """Sweep a fluid-only APR window along an upper-body-like tree.
 
@@ -112,7 +114,34 @@ def run_upper_body_sweep(
     placed = 0
     visited = []
     max_err = 0.0
-    for waypoint in path:
+    start_wp = 0
+    if checkpointer is not None:
+        # Checkpoint cadence is in *waypoints* here: the sweep's unit of
+        # restartable progress is one window placement, not one LBM step.
+        data = checkpointer.load()
+        if data is not None:
+            cg.f[:] = data["f_coarse"]
+            cg.mark_f_modified()
+            start_wp = data["step"]
+            placed = int(data["extra"]["placed"])
+            max_err = float(data["extra"]["max_err"])
+            visited = [w.copy() for w in data["extra"]["visited"]]
+    every = checkpoint_interval(checkpointer)
+    for wp_index, waypoint in enumerate(path):
+        if wp_index < start_wp:
+            continue
+        if every > 0 and wp_index > start_wp and (wp_index % every) == 0:
+            checkpointer.save(
+                step=wp_index,
+                f_coarse=cg.f,
+                extra={
+                    "placed": placed,
+                    "max_err": max_err,
+                    "visited": np.array(visited)
+                    if visited
+                    else np.empty((0, 3)),
+                },
+            )
         # Snap the window to the coarse lattice around the waypoint.
         i0 = np.round((waypoint - cg.origin) / dx_c - w / 2.0).astype(np.int64)
         if np.any(i0 < 1) or np.any(i0 + w > np.array(shape) - 2):
@@ -145,3 +174,16 @@ def run_upper_body_sweep(
         table2=table2_fluid_volumes(),
         tree_volume=tree.total_volume(),
     )
+
+
+def run_from_params(params: dict, *, checkpointer=None) -> dict:
+    """Uniform campaign entry: run the window sweep from a params dict."""
+    kwargs = filter_params(run_upper_body_sweep, params)
+    r = run_upper_body_sweep(**kwargs, checkpointer=checkpointer)
+    return {
+        "experiment": "upper_body",
+        "n_waypoints": int(r.n_waypoints),
+        "n_placed": int(r.n_placed),
+        "max_density_error": float(r.max_density_error),
+        "window_rbc_count_paper": float(r.window_rbc_count_paper),
+    }

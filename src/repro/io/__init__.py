@@ -8,9 +8,14 @@ inspection, and npz checkpoint/restore of full simulation state.
 
 from .csvout import write_csv, read_csv, TrajectoryWriter, TimeSeriesWriter
 from .vtk import write_vtk_structured, write_vtk_mesh
-from .checkpoint import save_checkpoint, load_checkpoint
+from .checkpoint import (
+    CHECKPOINT_SCHEMA_VERSION,
+    load_checkpoint,
+    save_checkpoint,
+)
 
 __all__ = [
+    "CHECKPOINT_SCHEMA_VERSION",
     "write_csv",
     "read_csv",
     "TrajectoryWriter",

@@ -15,6 +15,13 @@ import numpy as np
 from ..fsi.cell_manager import CellManager
 from ..membrane.cell import Cell, CellKind, reference_for
 
+#: Current checkpoint payload schema.  Version 1 is the original
+#: versionless layout (step / fields / cells / extra_*); version 2 adds
+#: the explicit ``schema_version`` marker itself.  Bump this whenever the
+#: payload layout changes incompatibly, and teach ``load_checkpoint`` the
+#: migration.
+CHECKPOINT_SCHEMA_VERSION = 2
+
 
 def save_checkpoint(
     path: str | Path,
@@ -26,6 +33,7 @@ def save_checkpoint(
 ) -> None:
     """Write simulation state to a compressed npz archive."""
     payload: dict[str, np.ndarray] = {
+        "schema_version": np.array(CHECKPOINT_SCHEMA_VERSION, dtype=np.int64),
         "step": np.array(step, dtype=np.int64),
         "f_coarse": f_coarse,
     }
@@ -41,6 +49,15 @@ def save_checkpoint(
         payload["cell_diameters"] = np.array(
             [2.0 * np.abs(c.reference.vertices[:, :2]).max() for c in cells]
         )
+        # Full elastic parameter set (schema v2): restoring from
+        # shear_modulus alone silently zeroed the area/volume penalty
+        # stiffnesses the factories set, breaking bit-exact resume.
+        payload["cell_skalak"] = np.array([c.skalak_C for c in cells])
+        payload["cell_bending"] = np.array(
+            [c.bending_modulus for c in cells]
+        )
+        payload["cell_k_area"] = np.array([c.k_area for c in cells])
+        payload["cell_k_volume"] = np.array([c.k_volume for c in cells])
         for cell in cells:
             payload[f"cell_{cell.global_id}_verts"] = cell.vertices
     if extra:
@@ -65,7 +82,17 @@ def load_checkpoint(path: str | Path) -> dict:
     subdivision level is inferred from each cell's vertex count.
     """
     data = np.load(path, allow_pickle=False)
-    out: dict = {"step": int(data["step"])}
+    if "schema_version" in data:
+        version = int(data["schema_version"])
+    else:
+        version = 1  # pre-versioning checkpoints
+    if not 1 <= version <= CHECKPOINT_SCHEMA_VERSION:
+        raise ValueError(
+            f"checkpoint {path} has schema version {version}; this build "
+            f"reads versions 1..{CHECKPOINT_SCHEMA_VERSION} — upgrade repro "
+            "to restore it"
+        )
+    out: dict = {"schema_version": version, "step": int(data["step"])}
     out["f_coarse"] = data["f_coarse"]
     if "f_fine" in data:
         out["f_fine"] = data["f_fine"]
@@ -81,12 +108,26 @@ def load_checkpoint(path: str | Path) -> dict:
             ref = reference_for(
                 kind, float(diams[i]), _subdivisions_from_vertex_count(len(verts))
             )
+            gs_i = float(gs[i])
+            if "cell_k_area" in data:  # schema >= 2: exact elastic set
+                extra_mech = {
+                    "skalak_C": float(data["cell_skalak"][i]),
+                    "bending_modulus": float(data["cell_bending"][i]),
+                    "k_area": float(data["cell_k_area"][i]),
+                    "k_volume": float(data["cell_k_volume"][i]),
+                }
+            else:  # legacy v1: recover the factory-derived stiffnesses
+                extra_mech = {
+                    "k_area": 5.0 * gs_i,
+                    "k_volume": 50.0 * gs_i / float(diams[i]),
+                }
             cell = Cell(
                 kind=kind,
                 reference=ref,
                 vertices=data[f"cell_{gid}_verts"],
                 global_id=int(gid),
-                shear_modulus=float(gs[i]),
+                shear_modulus=gs_i,
+                **extra_mech,
             )
             manager.add(cell)
         out["manager"] = manager

@@ -1,0 +1,45 @@
+"""repro.service — campaign runner for fleets of concurrent simulations.
+
+Declares campaigns in TOML/JSON manifests (:mod:`.manifest`), schedules
+them with bounded parallelism, retries and timeouts (:mod:`.scheduler`),
+isolates each job's process/telemetry/seed (:mod:`.worker`), shards
+checkpoints for kill-and-resume (:mod:`.checkpointing`), and streams an
+append-only run ledger plus an aggregate report (:mod:`.ledger`,
+:mod:`.report`).  The CLI surface is ``python -m repro campaign
+run|status|resume``.
+"""
+
+from .checkpointing import JobCheckpointer
+from .ledger import Ledger, JobLedgerState, job_states, read_ledger
+from .manifest import (
+    CampaignManifest,
+    JobSpec,
+    load_manifest,
+    manifest_from_dict,
+)
+from .registry import EXPERIMENTS, resolve
+from .report import build_report, render_report, write_report
+from .scheduler import CampaignRunner, run_campaign
+from .worker import derive_seed, job_dir, run_job
+
+__all__ = [
+    "CampaignManifest",
+    "CampaignRunner",
+    "EXPERIMENTS",
+    "JobCheckpointer",
+    "JobLedgerState",
+    "JobSpec",
+    "Ledger",
+    "build_report",
+    "derive_seed",
+    "job_dir",
+    "job_states",
+    "load_manifest",
+    "manifest_from_dict",
+    "read_ledger",
+    "render_report",
+    "resolve",
+    "run_campaign",
+    "run_job",
+    "write_report",
+]

@@ -24,7 +24,13 @@ def _jsonable(obj):
 
 
 class EventSink:
-    """Buffered JSONL writer; the file is created on the first event."""
+    """Line-flushed JSONL writer; the file is created on the first event.
+
+    Every event is written as one ``write`` call and flushed to the OS
+    immediately, so a SIGKILLed job loses at most the event being
+    serialized when the signal landed — never previously emitted lines —
+    and ``tail -f`` followers see events as they happen.
+    """
 
     def __init__(self, path: str | Path):
         self.path = Path(path)
@@ -35,6 +41,7 @@ class EventSink:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             self._fh = open(self.path, "a", encoding="utf-8")
         self._fh.write(json.dumps(record, default=_jsonable) + "\n")
+        self._fh.flush()
 
     def flush(self) -> None:
         if self._fh is not None:
@@ -47,11 +54,24 @@ class EventSink:
 
 
 def read_events(path: str | Path) -> list[dict]:
-    """Load every event from a JSONL file (skipping blank lines)."""
-    out: list[dict] = []
+    """Load every event from a JSONL file (skipping blank lines).
+
+    A malformed *final* line — the signature a writer was killed mid-write
+    — is silently dropped, so ledgers and event streams from crashed jobs
+    stay readable.  Corruption anywhere else still raises, since that
+    indicates a real problem rather than an interrupted append.
+    """
     with open(path, encoding="utf-8") as fh:
-        for line in fh:
-            line = line.strip()
-            if line:
-                out.append(json.loads(line))
+        lines = [ln.strip() for ln in fh]
+    lines = [(i, ln) for i, ln in enumerate(lines) if ln]
+    out: list[dict] = []
+    for pos, (lineno, line) in enumerate(lines):
+        try:
+            out.append(json.loads(line))
+        except json.JSONDecodeError:
+            if pos == len(lines) - 1:
+                break  # truncated trailing write from a killed process
+            raise ValueError(
+                f"{path}:{lineno + 1}: corrupt JSONL line in mid-file"
+            ) from None
     return out

@@ -11,6 +11,7 @@ machine-readable baseline artifact future performance PRs diff against;
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 from .timers import PATH_SEP
@@ -62,11 +63,22 @@ def summarize(telemetry) -> dict:
 
 
 def write_summary(summary: dict, path: str | Path) -> Path:
+    """Atomically persist a summary: temp file + ``os.replace``.
+
+    A job killed mid-write can therefore never leave a truncated
+    ``summary.json`` behind — readers see either the previous complete
+    artifact or the new one.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(summary, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(summary, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
     return path
 
 

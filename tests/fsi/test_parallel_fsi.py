@@ -216,6 +216,38 @@ def test_finalizer_cleans_up_without_close():
             shared_memory.SharedMemory(name=name)
 
 
+def test_many_short_fsi_runs_leak_nothing(recwarn):
+    """Campaign-style reuse: repeated short cell-laden runs in one
+    process must tear down every pool and segment deterministically."""
+    import warnings
+    from multiprocessing import shared_memory
+
+    all_names: list[str] = []
+    all_procs: list = []
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", ResourceWarning)
+        for i in range(4):
+            backend = "processes" if i % 2 == 0 else "threads"
+            st = build_stepper(backend=backend, workers=2, n_cells=2)
+            try:
+                st.step(1)
+                rt = st.runtime
+                all_names.extend(shm.name for shm in rt._segments)
+                all_procs.extend(rt._procs)
+            finally:
+                st.close()
+        gc.collect()
+    for p in all_procs:
+        assert not p.is_alive()
+    for name in all_names:
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+    leak_warnings = [
+        w for w in recwarn.list if "leak" in str(w.message).lower()
+    ]
+    assert leak_warnings == []
+
+
 def test_close_is_idempotent_and_stepper_recovers():
     st = build_stepper(backend="processes", workers=2)
     st.step(1)

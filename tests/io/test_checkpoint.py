@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.fsi import CellManager
-from repro.io import load_checkpoint, save_checkpoint
+from repro.io import CHECKPOINT_SCHEMA_VERSION, load_checkpoint, save_checkpoint
 from repro.membrane import CellKind, make_ctc, make_rbc
 
 
@@ -72,6 +72,48 @@ def test_no_fine_field(tmp_path):
     save_checkpoint(path, step=0, f_coarse=np.zeros((19, 2, 2, 2)))
     out = load_checkpoint(path)
     assert "f_fine" not in out
+
+
+def test_schema_version_round_trip(tmp_path):
+    """New checkpoints carry the current schema version explicitly."""
+    path = tmp_path / "ck.npz"
+    save_checkpoint(path, step=9, f_coarse=np.zeros((19, 2, 2, 2)))
+    with np.load(path) as raw:
+        assert int(raw["schema_version"]) == CHECKPOINT_SCHEMA_VERSION
+    out = load_checkpoint(path)
+    assert out["schema_version"] == CHECKPOINT_SCHEMA_VERSION
+    assert out["step"] == 9
+
+
+def test_versionless_legacy_checkpoint_loads_as_v1(tmp_path, rng):
+    """Pre-versioning archives (no marker) still restore, reported as v1."""
+    path = tmp_path / "legacy.npz"
+    f_coarse = rng.random((19, 3, 3, 3))
+    m = _population()
+    save_checkpoint(path, step=77, f_coarse=f_coarse, manager=m,
+                    extra={"window_center": np.array([1.0, 2.0, 3.0])})
+    # strip the version marker to fabricate a legacy archive
+    with np.load(path) as raw:
+        payload = {k: raw[k] for k in raw.files if k != "schema_version"}
+    np.savez_compressed(path, **payload)
+
+    out = load_checkpoint(path)
+    assert out["schema_version"] == 1
+    assert out["step"] == 77
+    assert np.array_equal(out["f_coarse"], f_coarse)
+    assert out["manager"].n_cells == 2
+    assert np.allclose(out["extra"]["window_center"], [1.0, 2.0, 3.0])
+
+
+def test_unknown_schema_version_raises_clear_error(tmp_path):
+    path = tmp_path / "future.npz"
+    save_checkpoint(path, step=0, f_coarse=np.zeros((19, 2, 2, 2)))
+    with np.load(path) as raw:
+        payload = {k: raw[k] for k in raw.files}
+    payload["schema_version"] = np.array(CHECKPOINT_SCHEMA_VERSION + 5)
+    np.savez_compressed(path, **payload)
+    with pytest.raises(ValueError, match="schema version"):
+        load_checkpoint(path)
 
 
 def _mixed_population():

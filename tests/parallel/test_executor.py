@@ -120,6 +120,40 @@ def test_close_is_idempotent():
     d.close()
 
 
+def test_many_short_runs_leak_nothing(recwarn):
+    """Campaign-style usage: many short-lived solvers in one process.
+
+    Every pool must tear down deterministically — no surviving worker
+    processes, no shared-memory segments, and no ResourceWarning /
+    shared-memory leak warnings accumulated across the loop.
+    """
+    import gc
+    import warnings
+    from multiprocessing import shared_memory
+
+    shape = (8, 8, 8)
+    f0 = np.full((19,) + shape, 0.05)
+    all_names: list[str] = []
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", ResourceWarning)
+        for i in range(6):
+            backend = "processes" if i % 2 == 0 else "threads"
+            with DistributedLBMSolver(
+                shape, tau=0.8, n_tasks=2, backend=backend, n_workers=2,
+            ) as d:
+                all_names.extend(d.blocks.segment_names or ())
+                d.scatter(f0)
+                d.step(1)
+        gc.collect()
+    for name in all_names:
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+    leak_warnings = [
+        w for w in recwarn.list if "leak" in str(w.message).lower()
+    ]
+    assert leak_warnings == []
+
+
 def test_finalizer_cleans_up_without_close():
     """Dropping an unclosed solver must not leak segments (GC safety net)."""
     import gc

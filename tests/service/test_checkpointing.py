@@ -1,0 +1,61 @@
+"""JobCheckpointer: atomic shards, resume bookkeeping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.service.checkpointing import JobCheckpointer
+
+
+def test_round_trip_and_resume_bookkeeping(tmp_path):
+    ck = JobCheckpointer(tmp_path / "checkpoint.npz", every=10)
+    assert ck.every == 10
+    assert not ck.exists()
+    assert ck.load() is None
+    assert ck.resumed_from is None
+
+    f = np.arange(12.0).reshape(3, 4)
+    ck.save(step=30, f_coarse=f)
+    assert ck.exists()
+    assert ck.n_saves == 1
+
+    ck2 = JobCheckpointer(tmp_path / "checkpoint.npz")
+    data = ck2.load()
+    assert data["step"] == 30
+    assert ck2.resumed_from == 30
+    np.testing.assert_array_equal(data["f_coarse"], f)
+
+
+def test_save_leaves_no_temp_file(tmp_path):
+    ck = JobCheckpointer(tmp_path / "checkpoint.npz")
+    ck.save(step=1, f_coarse=np.zeros(3))
+    leftovers = [p.name for p in tmp_path.iterdir()]
+    assert leftovers == ["checkpoint.npz"]
+
+
+def test_failed_save_keeps_previous_checkpoint(tmp_path):
+    ck = JobCheckpointer(tmp_path / "checkpoint.npz")
+    ck.save(step=5, f_coarse=np.ones(3))
+
+    def exploding_writer(path):
+        path.write_bytes(b"partial")
+        raise RuntimeError("killed mid-write")
+
+    with pytest.raises(RuntimeError):
+        ck.save_with(exploding_writer)
+    # the half-written temp is gone, the old shard is intact
+    assert [p.name for p in tmp_path.iterdir()] == ["checkpoint.npz"]
+    data = JobCheckpointer(tmp_path / "checkpoint.npz").load()
+    assert data["step"] == 5
+
+
+def test_save_with_custom_writer(tmp_path):
+    ck = JobCheckpointer(tmp_path / "checkpoint.npz")
+
+    def writer(path):
+        np.savez(path, step=np.array(7), blob=np.arange(4))
+
+    ck.save_with(writer)
+    with np.load(ck.path) as d:
+        assert int(d["step"]) == 7

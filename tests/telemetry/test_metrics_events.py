@@ -73,3 +73,64 @@ def test_event_sink_creates_file_lazily(tmp_path):
     sink.emit({"type": "x"})
     sink.close()
     assert path.exists()
+
+
+def test_events_survive_without_close(tmp_path):
+    """Per-line flushing: a killed process keeps all emitted events."""
+    path = tmp_path / "events.jsonl"
+    sink = EventSink(path)
+    for i in range(5):
+        sink.emit({"type": "tick", "i": i})
+    # no close/flush — simulate SIGKILL by just abandoning the handle;
+    # the line-level flush must already have pushed every event out
+    events = read_events(path)
+    assert [e["i"] for e in events] == list(range(5))
+    sink.close()
+
+
+def test_truncated_final_line_is_dropped(tmp_path):
+    """A mid-write kill corrupts at most the last line, which is skipped."""
+    path = tmp_path / "events.jsonl"
+    sink = EventSink(path)
+    for i in range(4):
+        sink.emit({"type": "tick", "i": i})
+    sink.close()
+    raw = path.read_bytes()
+    path.write_bytes(raw[:-9])  # chop into the final record
+    events = read_events(path)
+    assert [e["i"] for e in events] == [0, 1, 2]
+
+
+def test_mid_file_corruption_raises(tmp_path):
+    """Interior corruption is a real problem and must not be masked."""
+    path = tmp_path / "events.jsonl"
+    lines = ['{"i": 0}', "{broken", '{"i": 2}']
+    path.write_text("\n".join(lines) + "\n")
+    with pytest.raises(ValueError, match="corrupt JSONL"):
+        read_events(path)
+
+
+def test_summary_write_is_atomic(tmp_path, monkeypatch):
+    """A kill mid-summary-write leaves the previous artifact intact."""
+    import json
+    import os
+
+    from repro.telemetry.report import write_summary
+
+    path = tmp_path / "summary.json"
+    write_summary({"version": 1}, path)
+
+    # simulate dying inside the dump: os.replace never runs
+    real_replace = os.replace
+
+    def exploding_replace(src, dst):
+        raise KeyboardInterrupt("killed before publish")
+
+    monkeypatch.setattr(os, "replace", exploding_replace)
+    with pytest.raises(KeyboardInterrupt):
+        write_summary({"version": 2}, path)
+    monkeypatch.setattr(os, "replace", real_replace)
+
+    # old artifact survives, no temp debris
+    assert json.loads(path.read_text()) == {"version": 1}
+    assert list(tmp_path.iterdir()) == [path]

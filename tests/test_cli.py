@@ -126,3 +126,71 @@ def test_telemetry_uninstalled_after_run(tmp_path):
 
     main(["shear", "--steps", "20", "--telemetry-dir", str(tmp_path / "t")])
     assert isinstance(get_telemetry(), NullTelemetry)
+
+
+# ----------------------------------------------------------------------
+# Campaign subcommands (the service layer has its own deeper suite).
+
+
+def _write_campaign_manifest(tmp_path):
+    manifest = tmp_path / "campaign.toml"
+    manifest.write_text(
+        'name = "cli-smoke"\n'
+        "max_parallel = 2\n"
+        "\n"
+        "[[jobs]]\n"
+        'id = "hot"\n'
+        'experiment = "hotpath"\n'
+        "steps = 3\n"
+        "max_attempts = 1\n"
+        'isolation = "inline"\n'
+        "[jobs.params]\n"
+        "n_cells = 1\n"
+        "warmup = 0\n"
+        'shape = [8, 8, 8]\n'
+    )
+    return manifest
+
+
+def test_campaign_run_and_status(tmp_path, capsys):
+    manifest = _write_campaign_manifest(tmp_path)
+    out = tmp_path / "camp"
+    assert main(["campaign", "run", str(manifest), "--out", str(out)]) == 0
+    text = capsys.readouterr().out
+    assert "cli-smoke" in text
+    assert "1/1 completed" in text
+    assert (out / "ledger.jsonl").exists()
+    assert (out / "report.json").exists()
+
+    assert main(["campaign", "status", str(out)]) == 0
+    status_text = capsys.readouterr().out
+    assert "completed" in status_text
+
+
+def test_campaign_resume_on_finished_campaign(tmp_path, capsys):
+    manifest = _write_campaign_manifest(tmp_path)
+    out = tmp_path / "camp"
+    assert main(["campaign", "run", str(manifest), "--out", str(out)]) == 0
+    capsys.readouterr()
+    assert main(["campaign", "resume", str(out)]) == 0
+    assert "1/1 completed" in capsys.readouterr().out
+
+
+def test_campaign_resume_rejects_non_campaign_dir(tmp_path, capsys):
+    assert main(["campaign", "resume", str(tmp_path)]) == 2
+    assert "manifest" in capsys.readouterr().err
+
+
+def test_campaign_run_exits_nonzero_on_failures(tmp_path, capsys):
+    manifest = tmp_path / "bad.toml"
+    manifest.write_text(
+        'name = "failing"\n'
+        "[[jobs]]\n"
+        'id = "boom"\n'
+        'experiment = "python:nonexistent_module_xyz:run"\n'
+        "max_attempts = 1\n"
+        'isolation = "inline"\n'
+    )
+    out = tmp_path / "camp"
+    assert main(["campaign", "run", str(manifest), "--out", str(out)]) == 1
+    assert "failed" in capsys.readouterr().out
