@@ -33,6 +33,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import kernels as kernels_mod
 from repro.fsi import CellManager, FSIStepper
 from repro.lbm import Grid
 from repro.membrane import make_rbc
@@ -46,7 +47,8 @@ PHASES = ("forces", "spread", "collide_stream", "advect")
 
 def build_stepper(shape, n_cells: int, subdivisions: int, seed: int,
                   backend: str | None = None,
-                  workers: int | None = None) -> FSIStepper:
+                  workers: int | None = None,
+                  kernels: str | None = None) -> FSIStepper:
     """Seeded cell-laden periodic lattice driven by a body force."""
     dx = 0.65e-6
     nu = 1.2e-3 / 1025.0
@@ -74,13 +76,21 @@ def build_stepper(shape, n_cells: int, subdivisions: int, seed: int,
         body_force=np.array([500.0, 0.0, 0.0]),
         backend=backend,
         workers=workers,
+        kernels=kernels,
     )
 
 
-def run(args, backend: str | None = None, workers: int | None = None) -> dict:
+def run(args, backend: str | None = None, workers: int | None = None,
+        kernels: str | None = None) -> dict:
     stepper = build_stepper(args.shape, args.cells, args.subdivisions,
-                            args.seed, backend=backend, workers=workers)
+                            args.seed, backend=backend, workers=workers,
+                            kernels=kernels)
     try:
+        # JIT compilation must never land inside the timed window: compile
+        # every registered kernel explicitly (recording per-kernel compile
+        # seconds), then run the untimed warmup steps so any residual
+        # call-site specializations compile too.
+        jit_compile_s = kernels_mod.warmup(stepper.kernels)
         stepper.step(args.warmup)
 
         tel = Telemetry(meta={"benchmark": "hotpath_step"})
@@ -106,6 +116,8 @@ def run(args, backend: str | None = None, workers: int | None = None) -> dict:
             "n_vertices": n_vertices,
             "backend": stepper.backend,
             "workers": stepper.n_workers,
+            "kernels": stepper.kernels,
+            "jit_compile_s": jit_compile_s,
         }
     finally:
         stepper.close()
@@ -125,7 +137,7 @@ def run_sweep(args, serial: dict) -> dict:
             continue
         curves[backend] = {}
         for w in args.sweep_workers:
-            r = run(args, backend=backend, workers=w)
+            r = run(args, backend=backend, workers=w, kernels=args.kernels)
             r["speedup_vs_serial"] = (
                 serial["total_ms_per_step"] / r["total_ms_per_step"]
             )
@@ -164,6 +176,10 @@ def main(argv=None) -> int:
                              "(default: REPRO_PARALLEL_BACKEND or serial)")
     parser.add_argument("--workers", type=int, default=None,
                         help="FSI worker count for the main run")
+    parser.add_argument("--kernels", default=None,
+                        choices=("numpy", "numba"),
+                        help="compute-kernel backend for the hot loops "
+                             "(default: REPRO_KERNELS or numpy)")
     parser.add_argument("--sweep-backends", nargs="+", default=None,
                         choices=("serial", "threads", "processes"),
                         help="also record serial-vs-parallel phase curves "
@@ -177,7 +193,8 @@ def main(argv=None) -> int:
                         help="output JSON path")
     args = parser.parse_args(argv)
 
-    result = run(args, backend=args.backend, workers=args.workers)
+    result = run(args, backend=args.backend, workers=args.workers,
+                 kernels=args.kernels)
     record = {
         "benchmark": "hotpath_step",
         "config": {
@@ -189,6 +206,8 @@ def main(argv=None) -> int:
             "seed": args.seed,
             "backend": result["backend"],
             "workers": result["workers"],
+            "kernels": result["kernels"],
+            "jit_compile_s": result["jit_compile_s"],
         },
         "machine": machine_info(),
         "result": result,
@@ -196,7 +215,7 @@ def main(argv=None) -> int:
     if args.sweep_backends:
         serial = (result
                   if result["backend"] == "serial"
-                  else run(args, backend="serial"))
+                  else run(args, backend="serial", kernels=args.kernels))
         record["parallel"] = run_sweep(args, serial)
     elif args.out.exists():
         # Preserve a previously recorded sweep on plain re-runs (same
@@ -222,13 +241,18 @@ def main(argv=None) -> int:
         json.dump(record, fh, indent=2, sort_keys=True)
         fh.write("\n")
 
-    print(f"hotpath_step [{result['backend']} x{result['workers']}]: "
+    print(f"hotpath_step [{result['backend']} x{result['workers']}, "
+          f"kernels={result['kernels']}]: "
           f"{result['total_ms_per_step']:.2f} ms/step "
           f"({result['steps_per_s']:.1f} steps/s), "
           f"{result['n_cells']} cells / {result['n_vertices']} vertices")
     for name in PHASES:
         if name in result["phase_ms_per_step"]:
             print(f"  {name:<16} {result['phase_ms_per_step'][name]:8.3f} ms/step")
+    if result["jit_compile_s"]:
+        total_jit = sum(result["jit_compile_s"].values())
+        print(f"  jit compile: {total_jit:.2f} s total "
+              f"(excluded from timed window)")
     if "speedup_vs_baseline" in record:
         print(f"  speedup vs baseline: {record['speedup_vs_baseline']:.2f}x")
     if args.sweep_backends:

@@ -215,6 +215,16 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_kernels_flag(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--kernels",
+        choices=("numpy", "numba"),
+        default=None,
+        help="compute-kernel backend for the hot loops "
+             "(default: REPRO_KERNELS or numpy)",
+    )
+
+
 def _add_telemetry_flag(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--telemetry-dir",
@@ -238,12 +248,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ny", type=int, default=12)
     p.add_argument("--steps", type=int, default=1500)
     p.add_argument("--csv", type=str, default=None)
+    _add_kernels_flag(p)
     _add_telemetry_flag(p)
     p.set_defaults(func=_cmd_shear)
 
     p = sub.add_parser("tube", help="Fig. 5 hematocrit maintenance")
     p.add_argument("--hematocrit", type=float, default=0.2)
     p.add_argument("--steps", type=int, default=100)
+    _add_kernels_flag(p)
     _add_telemetry_flag(p)
     p.set_defaults(func=_cmd_tube)
 
@@ -251,6 +263,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--method", choices=("apr", "efsi"), default="apr")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--steps", type=int, default=100)
+    _add_kernels_flag(p)
     _add_telemetry_flag(p)
     p.set_defaults(func=_cmd_channel)
 
@@ -297,6 +310,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default: REPRO_PARALLEL_BACKEND or serial)")
     p.add_argument("--workers", type=int, default=None,
                    help="FSI worker count (default: REPRO_PARALLEL_WORKERS)")
+    _add_kernels_flag(p)
     _add_telemetry_flag(p)
     p.set_defaults(func=_cmd_profile)
 
@@ -339,6 +353,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "kernels", None) is not None:
+        # Experiments build their steppers internally, so the kernels
+        # choice travels via the env var (which resolve_kernels gives
+        # precedence over constructor arguments anyway).
+        import os
+
+        os.environ["REPRO_KERNELS"] = args.kernels
     tdir = getattr(args, "telemetry_dir", None)
     if tdir is not None and args.command != "profile":
         # Opt-in telemetry wrapper for the plain experiment subcommands;

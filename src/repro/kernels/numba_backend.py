@@ -1,0 +1,637 @@
+"""Numba-compiled implementations of the hot-path kernels.
+
+Every loop is ``@njit(parallel=True, cache=True)`` with the default
+``fastmath=False`` — no reassociation is *requested*, but compiled scalar
+loops still reduce in a different order than NumPy's pairwise sums and
+BLAS matmuls, so this backend is held to the NumPy reference within 1e-12
+by the golden kernels×backend matrix rather than bitwise (the streaming
+kernels, pure copies, are the exception and stay bit-exact).
+
+Determinism decisions baked into the loops:
+
+* ``prange`` only over axes whose iterations write disjoint outputs —
+  lattice x-slabs for collide/stream, the batch (cell) axis for the
+  membrane kernels, markers for interpolation, the three components for
+  the spread scatter.  Scatter accumulation itself is serial per output
+  (numba's CPU target has no float atomics), in ascending flat-index
+  position order — the same per-node order ``np.bincount`` uses.
+* The per-node collide arithmetic replicates the NumPy elementary
+  operation order (velocity half-force shift, equilibrium expansion, Guo
+  source) term by term.
+
+The module always imports: when numba is missing, ``njit`` degrades to a
+pass-through decorator and ``prange`` to ``range``, leaving the loop
+bodies as plain (slow) Python so the equivalence tests can exercise them
+on tiny inputs without numba.  Registration under the ``"numba"`` backend
+name happens only when numba itself imported cleanly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+try:  # gated import: this container/extra may not ship numba
+    from numba import njit, prange
+
+    NUMBA_AVAILABLE = True
+except Exception:  # pragma: no cover - exercised where numba is absent
+    NUMBA_AVAILABLE = False
+    prange = range
+
+    def njit(*args, **kwargs):
+        """Pass-through decorator standing in for numba.njit."""
+        if args and callable(args[0]) and not kwargs:
+            return args[0]
+
+        def wrap(fn):
+            return fn
+
+        return wrap
+
+
+from ..lbm.collision import moments as _np_moments
+from ..lbm.lattice import D3Q19
+
+#: Lattice constants as plain arrays (numba cannot close over the
+#: namedtuple; module-level globals are frozen into the compiled code).
+_CX = np.ascontiguousarray(D3Q19.c[:, 0].astype(np.float64))
+_CY = np.ascontiguousarray(D3Q19.c[:, 1].astype(np.float64))
+_CZ = np.ascontiguousarray(D3Q19.c[:, 2].astype(np.float64))
+_CIX = np.ascontiguousarray(D3Q19.c[:, 0].astype(np.int64))
+_CIY = np.ascontiguousarray(D3Q19.c[:, 1].astype(np.int64))
+_CIZ = np.ascontiguousarray(D3Q19.c[:, 2].astype(np.int64))
+_W = np.ascontiguousarray(D3Q19.w.astype(np.float64))
+_CS2 = float(D3Q19.cs2)
+_Q = int(D3Q19.Q)
+
+#: Stand-in arrays for "absent" optional inputs (numba needs a concrete
+#: array argument either way; a flag selects whether it is read).
+_NO_FORCE = np.zeros((3, 1, 1, 1), dtype=np.float64)
+_NO_TAU = np.ones((1, 1, 1), dtype=np.float64)
+
+
+# ----------------------------------------------------------------------
+# LBM: fused collide (+ Guo forcing) and pull streaming
+
+
+@njit(parallel=True, cache=True)
+def _collide_core(f, rho, mom, tau_field, tau_scalar, use_tau_field,
+                  force, use_force, out, u_out):
+    q, nx, ny, nz = f.shape
+    inv_cs2 = 1.0 / _CS2
+    inv_2cs4 = 1.0 / (2.0 * _CS2 ** 2)
+    inv_2cs2 = 1.0 / (2.0 * _CS2)
+    for x in prange(nx):
+        for y in range(ny):
+            for z in range(nz):
+                r = rho[x, y, z]
+                den = r if r > 1e-300 else 1e-300
+                if use_force:
+                    fx = force[0, x, y, z]
+                    fy = force[1, x, y, z]
+                    fz = force[2, x, y, z]
+                else:
+                    fx = 0.0
+                    fy = 0.0
+                    fz = 0.0
+                # u = (0.5 F + mom) / max(rho, tiny), the Guo half-force
+                # shift in the same operation order as the NumPy path.
+                ux = (0.5 * fx + mom[0, x, y, z]) / den
+                uy = (0.5 * fy + mom[1, x, y, z]) / den
+                uz = (0.5 * fz + mom[2, x, y, z]) / den
+                usq = ux * ux + uy * uy + uz * uz
+                usq_term = 1.0 - usq * inv_2cs2
+                tau = tau_field[x, y, z] if use_tau_field else tau_scalar
+                om = 1.0 - 1.0 / tau
+                guo_pref = 1.0 - 0.5 / tau
+                uf = ux * fx + uy * fy + uz * fz
+                for i in range(q):
+                    cu = _CX[i] * ux + _CY[i] * uy + _CZ[i] * uz
+                    feq = _W[i] * (r * (cu * inv_cs2
+                                        + cu * cu * inv_2cs4
+                                        + usq_term))
+                    val = (f[i, x, y, z] - feq) * om + feq
+                    if use_force:
+                        cf = _CX[i] * fx + _CY[i] * fy + _CZ[i] * fz
+                        val += guo_pref * _W[i] * (
+                            cu * cf * inv_cs2 * inv_cs2
+                            + (cf - uf) * inv_cs2
+                        )
+                    out[i, x, y, z] = val
+                u_out[0, x, y, z] = ux
+                u_out[1, x, y, z] = uy
+                u_out[2, x, y, z] = uz
+
+
+def collide_bgk(f, tau, force=None, out=None, scratch=None, moments_in=None):
+    """Compiled BGK collision; same contract as
+    :func:`repro.lbm.collision.collide_bgk` (including the
+    ``moments_in`` reuse of cached post-stream moments)."""
+    if moments_in is not None:
+        rho, mom = moments_in
+    elif scratch is not None:
+        rho, mom = _np_moments(f, out_rho=scratch.rho, out_mom=scratch.mom)
+    else:
+        rho, mom = _np_moments(f)
+    if out is None:
+        out = np.empty_like(f)
+    if scratch is not None:
+        u = scratch.u
+    else:
+        u = np.empty_like(mom)
+    if isinstance(tau, np.ndarray) and tau.ndim > 0:
+        tau_field, tau_scalar, use_tau_field = tau, 1.0, True
+    else:
+        tau_field, tau_scalar, use_tau_field = _NO_TAU, float(tau), False
+    if force is None:
+        force_arr, use_force = _NO_FORCE, False
+    else:
+        force_arr, use_force = force, True
+    _collide_core(f, rho, mom, tau_field, tau_scalar, use_tau_field,
+                  force_arr, use_force, out, u)
+    return out, rho, u
+
+
+@njit(parallel=True, cache=True)
+def _stream_core(f_post, out):
+    q, nx, ny, nz = f_post.shape
+    for i in prange(q):
+        cx = _CIX[i]
+        cy = _CIY[i]
+        cz = _CIZ[i]
+        for x in range(nx):
+            sx = x - cx
+            if sx < 0:
+                sx += nx
+            elif sx >= nx:
+                sx -= nx
+            for y in range(ny):
+                sy = y - cy
+                if sy < 0:
+                    sy += ny
+                elif sy >= ny:
+                    sy -= ny
+                for z in range(nz):
+                    sz = z - cz
+                    if sz < 0:
+                        sz += nz
+                    elif sz >= nz:
+                        sz -= nz
+                    out[i, x, y, z] = f_post[i, sx, sy, sz]
+
+
+def stream_pull(f_post, out=None):
+    """Compiled periodic pull streaming (bit-exact: a pure copy)."""
+    if out is None:
+        out = np.empty_like(f_post)
+    if out is f_post:
+        raise ValueError("streaming cannot be done in place")
+    _stream_core(f_post, out)
+    return out
+
+
+@njit(parallel=True, cache=True)
+def _stream_padded_core(f_post, out):
+    q, nx, ny, nz = f_post.shape
+    for i in prange(q):
+        cx = _CIX[i]
+        cy = _CIY[i]
+        cz = _CIZ[i]
+        for x in range(1, nx - 1):
+            for y in range(1, ny - 1):
+                for z in range(1, nz - 1):
+                    out[i, x, y, z] = f_post[i, x - cx, y - cy, z - cz]
+
+
+def stream_pull_padded(f_post, out):
+    """Compiled halo-padded pull streaming (interior writes only)."""
+    if out is f_post:
+        raise ValueError("streaming cannot be done in place")
+    _stream_padded_core(f_post, out)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Membrane: Skalak in-plane forces and dihedral bending forces
+#
+# Both loops ``prange`` over the batch (cell) axis only: each cell owns
+# its own output rows, so the face/edge scatter inside one cell is serial
+# and race-free.  The per-face/per-edge scalar math mirrors
+# membrane/skalak.py and membrane/bending.py term by term; the scatter
+# interleaves corners per face (NumPy scatters corner-by-corner across
+# all faces), which is where the <=1e-12 reassociation lives.
+
+
+@njit(parallel=True, cache=True)
+def _skalak_core(v, faces, dr_inv, ref_area, gs, c_sk, out):
+    n_batch = v.shape[0]
+    n_faces = faces.shape[0]
+    for b in prange(n_batch):
+        for k in range(n_faces):
+            i0 = faces[k, 0]
+            i1 = faces[k, 1]
+            i2 = faces[k, 2]
+            d1x = v[b, i1, 0] - v[b, i0, 0]
+            d1y = v[b, i1, 1] - v[b, i0, 1]
+            d1z = v[b, i1, 2] - v[b, i0, 2]
+            d2x = v[b, i2, 0] - v[b, i0, 0]
+            d2y = v[b, i2, 1] - v[b, i0, 1]
+            d2z = v[b, i2, 2] - v[b, i0, 2]
+            # Deformed local frame: e1 along d1, e2 = n_hat x e1.
+            nx = d1y * d2z - d1z * d2y
+            ny = d1z * d2x - d1x * d2z
+            nz = d1x * d2y - d1y * d2x
+            n_norm = np.sqrt(nx * nx + ny * ny + nz * nz)
+            l1 = np.sqrt(d1x * d1x + d1y * d1y + d1z * d1z)
+            e1x = d1x / l1
+            e1y = d1y / l1
+            e1z = d1z / l1
+            nhx = nx / n_norm
+            nhy = ny / n_norm
+            nhz = nz / n_norm
+            e2x = nhy * e1z - nhz * e1y
+            e2y = nhz * e1x - nhx * e1z
+            e2z = nhx * e1y - nhy * e1x
+            # Upper-triangular deformed edge matrix D and F = D @ Dr_inv.
+            d00 = l1
+            d01 = d2x * e1x + d2y * e1y + d2z * e1z
+            d11 = d2x * e2x + d2y * e2y + d2z * e2z
+            r00 = dr_inv[k, 0, 0]
+            r01 = dr_inv[k, 0, 1]
+            r10 = dr_inv[k, 1, 0]
+            r11 = dr_inv[k, 1, 1]
+            f00 = d00 * r00 + d01 * r10
+            f01 = d00 * r01 + d01 * r11
+            f10 = d11 * r10
+            f11 = d11 * r11
+            # Invariants of G = F^T F.
+            g11 = f00 * f00 + f10 * f10
+            g22 = f01 * f01 + f11 * f11
+            det_f = f00 * f11 - f01 * f10
+            det_g = det_f * det_f
+            i1_inv = g11 + g22 - 2.0
+            i2_inv = det_g - 1.0
+            # P = Gs (I1+1) F + Gs (C I2 - 1) det(G) F^{-T}.
+            coef_f = gs * (i1_inv + 1.0)
+            coef_inv = gs * (c_sk * i2_inv - 1.0) * det_g
+            p00 = coef_f * f00 + coef_inv * (f11 / det_f)
+            p01 = coef_f * f01 + coef_inv * (-f10 / det_f)
+            p10 = coef_f * f10 + coef_inv * (-f01 / det_f)
+            p11 = coef_f * f11 + coef_inv * (f00 / det_f)
+            # dW/dDd = A_ref * P @ Dr_inv^T; columns are -f1_loc, -f2_loc.
+            a_ref = ref_area[k]
+            dw00 = a_ref * (p00 * r00 + p01 * r01)
+            dw01 = a_ref * (p00 * r10 + p01 * r11)
+            dw10 = a_ref * (p10 * r00 + p11 * r01)
+            dw11 = a_ref * (p10 * r10 + p11 * r11)
+            f1l0 = -dw00
+            f1l1 = -dw10
+            f2l0 = -dw01
+            f2l1 = -dw11
+            f1x = f1l0 * e1x + f1l1 * e2x
+            f1y = f1l0 * e1y + f1l1 * e2y
+            f1z = f1l0 * e1z + f1l1 * e2z
+            f2x = f2l0 * e1x + f2l1 * e2x
+            f2y = f2l0 * e1y + f2l1 * e2y
+            f2z = f2l0 * e1z + f2l1 * e2z
+            out[b, i0, 0] -= f1x + f2x
+            out[b, i0, 1] -= f1y + f2y
+            out[b, i0, 2] -= f1z + f2z
+            out[b, i1, 0] += f1x
+            out[b, i1, 1] += f1y
+            out[b, i1, 2] += f1z
+            out[b, i2, 0] += f2x
+            out[b, i2, 1] += f2y
+            out[b, i2, 2] += f2z
+
+
+def skalak_forces(vertices, ref, Gs, C):
+    """Compiled Skalak nodal forces; same contract as
+    :func:`repro.membrane.skalak.skalak_forces`."""
+    v = np.asarray(vertices, dtype=np.float64)
+    batch_shape = v.shape[:-2]
+    vb = np.ascontiguousarray(v.reshape((-1,) + v.shape[-2:]))
+    out = np.zeros_like(vb)
+    _skalak_core(vb, ref.faces, ref.Dr_inv, ref.ref_face_area,
+                 float(Gs), float(C), out)
+    return out.reshape(batch_shape + v.shape[-2:])
+
+
+@njit(parallel=True, cache=True)
+def _bending_core(v, quads, theta0, k_bend, out):
+    n_batch = v.shape[0]
+    n_edges = quads.shape[0]
+    for b in prange(n_batch):
+        for k in range(n_edges):
+            i1 = quads[k, 0]
+            i2 = quads[k, 1]
+            i3 = quads[k, 2]
+            i4 = quads[k, 3]
+            ex = v[b, i2, 0] - v[b, i1, 0]
+            ey = v[b, i2, 1] - v[b, i1, 1]
+            ez = v[b, i2, 2] - v[b, i1, 2]
+            ax = v[b, i3, 0] - v[b, i1, 0]
+            ay = v[b, i3, 1] - v[b, i1, 1]
+            az = v[b, i3, 2] - v[b, i1, 2]
+            bx = v[b, i4, 0] - v[b, i1, 0]
+            by = v[b, i4, 1] - v[b, i1, 1]
+            bz = v[b, i4, 2] - v[b, i1, 2]
+            # nA = e x a (face v1,v2,v3); nB = b x e (face v2,v1,v4).
+            nax = ey * az - ez * ay
+            nay = ez * ax - ex * az
+            naz = ex * ay - ey * ax
+            nbx = by * ez - bz * ey
+            nby = bz * ex - bx * ez
+            nbz = bx * ey - by * ex
+            l2 = ex * ex + ey * ey + ez * ez
+            l = np.sqrt(l2)
+            na2 = nax * nax + nay * nay + naz * naz
+            nb2 = nbx * nbx + nby * nby + nbz * nbz
+            na_norm = np.sqrt(na2)
+            nb_norm = np.sqrt(nb2)
+            nahx = nax / na_norm
+            nahy = nay / na_norm
+            nahz = naz / na_norm
+            nbhx = nbx / nb_norm
+            nbhy = nby / nb_norm
+            nbhz = nbz / nb_norm
+            cos_t = nahx * nbhx + nahy * nbhy + nahz * nbhz
+            if cos_t > 1.0:
+                cos_t = 1.0
+            elif cos_t < -1.0:
+                cos_t = -1.0
+            crx = nahy * nbhz - nahz * nbhy
+            cry = nahz * nbhx - nahx * nbhz
+            crz = nahx * nbhy - nahy * nbhx
+            sin_t = (crx * ex + cry * ey + crz * ez) / l
+            theta = np.arctan2(sin_t, cos_t)
+            # Angle gradients (exact): gA = -(l/nA2) nA, gB = -(l/nB2) nB.
+            ga_c = -(l / na2)
+            gb_c = -(l / nb2)
+            gax = ga_c * nax
+            gay = ga_c * nay
+            gaz = ga_c * naz
+            gbx = gb_c * nbx
+            gby = gb_c * nby
+            gbz = gb_c * nbz
+            alpha = (ax * ex + ay * ey + az * ez) / l2
+            beta = (bx * ex + by * ey + bz * ez) / l2
+            coeff = -2.0 * k_bend * (theta - theta0[k])
+            g1x = -(1.0 - alpha) * gax - (1.0 - beta) * gbx
+            g1y = -(1.0 - alpha) * gay - (1.0 - beta) * gby
+            g1z = -(1.0 - alpha) * gaz - (1.0 - beta) * gbz
+            g2x = -alpha * gax - beta * gbx
+            g2y = -alpha * gay - beta * gby
+            g2z = -alpha * gaz - beta * gbz
+            out[b, i1, 0] += coeff * g1x
+            out[b, i1, 1] += coeff * g1y
+            out[b, i1, 2] += coeff * g1z
+            out[b, i2, 0] += coeff * g2x
+            out[b, i2, 1] += coeff * g2y
+            out[b, i2, 2] += coeff * g2z
+            out[b, i3, 0] += coeff * gax
+            out[b, i3, 1] += coeff * gay
+            out[b, i3, 2] += coeff * gaz
+            out[b, i4, 0] += coeff * gbx
+            out[b, i4, 1] += coeff * gby
+            out[b, i4, 2] += coeff * gbz
+
+
+def bending_forces(vertices, quads, theta0, k_bend):
+    """Compiled dihedral bending forces; same contract as
+    :func:`repro.membrane.bending.bending_forces`."""
+    v = np.asarray(vertices, dtype=np.float64)
+    batch_shape = v.shape[:-2]
+    vb = np.ascontiguousarray(v.reshape((-1,) + v.shape[-2:]))
+    out = np.zeros_like(vb)
+    _bending_core(vb, quads, theta0, float(k_bend), out)
+    return out.reshape(batch_shape + v.shape[-2:])
+
+
+# ----------------------------------------------------------------------
+# IBM: interpolation, spread contributions and the spread scatter
+
+
+@njit(parallel=True, cache=True)
+def _interp_vec_core(field, ia, ib, ic, w, out):
+    n, s = ia.shape
+    for m in prange(n):
+        for d in range(3):
+            acc = 0.0
+            for a in range(s):
+                xa = ia[m, a]
+                for bq in range(s):
+                    yb = ib[m, bq]
+                    for cq in range(s):
+                        acc += field[d, xa, yb, ic[m, cq]] * w[m, a, bq, cq]
+            out[m, d] = acc
+
+
+@njit(parallel=True, cache=True)
+def _interp_scalar_core(field, ia, ib, ic, w, out):
+    n, s = ia.shape
+    for m in prange(n):
+        acc = 0.0
+        for a in range(s):
+            xa = ia[m, a]
+            for bq in range(s):
+                yb = ib[m, bq]
+                for cq in range(s):
+                    acc += field[xa, yb, ic[m, cq]] * w[m, a, bq, cq]
+        out[m] = acc
+
+
+def ibm_interp(field, stencil):
+    """Compiled marker interpolation; same contract as
+    :func:`repro.ibm.coupling.interpolate_with_stencil`."""
+    ia, ib, ic = stencil.idx
+    if field.ndim == 4:
+        out = np.empty((stencil.n_markers, 3), dtype=np.float64)
+        _interp_vec_core(field, ia, ib, ic, stencil.w, out)
+        return out
+    out = np.empty(stencil.n_markers, dtype=np.float64)
+    _interp_scalar_core(field, ia, ib, ic, stencil.w, out)
+    return out
+
+
+@njit(parallel=True, cache=True)
+def _spread_contrib_core(w, vals, contrib):
+    n, s, _, _ = w.shape
+    s3 = s * s * s
+    for d in prange(3):
+        for m in range(n):
+            base = m * s3
+            pos = 0
+            for a in range(s):
+                for bq in range(s):
+                    for cq in range(s):
+                        contrib[d, base + pos] = w[m, a, bq, cq] * vals[m, d]
+                        pos += 1
+
+
+def ibm_spread_contrib(w, values, contrib_out):
+    """Weights × marker forces, flattened per component.
+
+    ``w`` is (N, S, S, S), ``values`` (N, 3), ``contrib_out`` a
+    (3, N*S^3) view — one marker chunk of the sharded spread's stage one
+    (:meth:`repro.parallel.fsi.FSIWorker.spread_contrib`).
+    """
+    _spread_contrib_core(np.ascontiguousarray(w), values, contrib_out)
+
+
+@njit(parallel=True, cache=True)
+def _spread_scatter_core(flat, contrib, field_flat, lo, hi):
+    n = flat.shape[0]
+    # Serial per component in ascending position order: identical
+    # per-node summation order to np.bincount over the masked range.
+    for d in prange(3):
+        for j in range(n):
+            idx = flat[j]
+            if lo <= idx < hi:
+                field_flat[d, idx] += contrib[d, j]
+
+
+def ibm_spread_scatter(flat, contrib, field_flat, lo, hi):
+    """Scatter spread contributions into one flat node range.
+
+    Same node-range masking contract as stage two of
+    :meth:`repro.parallel.fsi.FSIWorker.spread_scatter`; accumulates in
+    ascending position order per node, matching the bincount reduction.
+    """
+    _spread_scatter_core(flat, contrib, field_flat, int(lo), int(hi))
+
+
+@njit(parallel=True, cache=True)
+def _spread_full_vec_core(w, vals, ia, ib, ic, field):
+    n, s = ia.shape
+    for d in prange(3):
+        for m in range(n):
+            v = vals[m, d]
+            for a in range(s):
+                xa = ia[m, a]
+                for bq in range(s):
+                    yb = ib[m, bq]
+                    for cq in range(s):
+                        field[d, xa, yb, ic[m, cq]] += v * w[m, a, bq, cq]
+
+
+@njit(cache=True)
+def _spread_full_scalar_core(w, vals, ia, ib, ic, field):
+    n, s = ia.shape
+    for m in range(n):
+        v = vals[m]
+        for a in range(s):
+            xa = ia[m, a]
+            for bq in range(s):
+                yb = ib[m, bq]
+                for cq in range(s):
+                    field[xa, yb, ic[m, cq]] += v * w[m, a, bq, cq]
+
+
+def ibm_spread(values, stencil, out_field, contrib_out=None):
+    """Compiled marker spreading; same contract as
+    :func:`repro.ibm.coupling.spread_with_stencil` (``contrib_out`` is
+    accepted for signature parity and unused — the fused scatter needs
+    no staging buffer)."""
+    vals = np.atleast_2d(np.asarray(values, dtype=np.float64))
+    ia, ib, ic = stencil.idx
+    if out_field.ndim == 4:
+        _spread_full_vec_core(stencil.w, vals, ia, ib, ic, out_field)
+    else:
+        _spread_full_scalar_core(stencil.w, vals[:, 0], ia, ib, ic, out_field)
+
+
+# ----------------------------------------------------------------------
+# Warmup
+
+
+def warmup_calls():
+    """(kernel name, thunk) pairs compiling each jitted loop.
+
+    Inputs are tiny but mirror the real call sites' dtypes, dimensions
+    and writability (numba specializes on those, not on shapes); the
+    readonly arrays stand in for the frozen ``ReferenceState`` fields.
+    """
+    f = np.full((_Q, 2, 2, 2), 1.0 / _Q)
+    out = np.empty_like(f)
+    rho = f.sum(axis=0)
+    mom = np.tensordot(D3Q19.c.T.astype(np.float64), f, axes=([1], [0]))
+    u = np.empty_like(mom)
+    force = np.zeros((3, 2, 2, 2))
+    tau_field = np.ones((2, 2, 2))
+    faces = np.array([[0, 1, 2]], dtype=np.int64)
+    quads = np.array([[0, 1, 2, 3]], dtype=np.int64)
+    verts = np.array(
+        [[[0.0, 0.0, 0.0], [1.0, 0.0, 0.0], [0.0, 1.0, 0.0],
+          [0.4, 0.4, 0.8]]]
+    )
+    dr_inv = np.array([[[1.0, -0.5], [0.0, 1.0]]])
+    ref_area = np.array([0.5])
+    theta0 = np.zeros(1)
+    for arr in (faces, quads, dr_inv, ref_area, theta0):
+        arr.setflags(write=False)
+    mforce = np.zeros_like(verts)
+    ia = np.zeros((1, 2), dtype=np.int64)
+    ia[0, 1] = 1
+    w = np.full((1, 2, 2, 2), 0.125)
+    vec_field = np.zeros((3, 2, 2, 2))
+    scal_field = np.zeros((2, 2, 2))
+    vvals = np.ones((1, 3))
+    flat = np.arange(8, dtype=np.int64)
+    contrib = np.ones((3, 8))
+    field_flat = np.zeros((3, 8))
+    interp_out = np.empty((1, 3))
+    interp_scal_out = np.empty(1)
+
+    def call_collide():
+        # Both tau specializations (scalar and per-node field).
+        _collide_core(f, rho, mom, _NO_TAU, 1.0, False, force, True, out, u)
+        _collide_core(f, rho, mom, tau_field, 1.0, True,
+                      _NO_FORCE, False, out, u)
+
+    def call_membrane_skalak():
+        _skalak_core(verts, faces, dr_inv, ref_area, 1.0, 1.0, mforce)
+
+    def call_membrane_bending():
+        _bending_core(verts, quads, theta0, 1.0, mforce)
+
+    def call_interp():
+        _interp_vec_core(vec_field, ia, ia, ia, w, interp_out)
+        _interp_scalar_core(scal_field, ia, ia, ia, w, interp_scal_out)
+
+    def call_spread():
+        _spread_full_vec_core(w, vvals, ia, ia, ia, vec_field)
+        _spread_full_scalar_core(w, vvals[:, 0], ia, ia, ia, scal_field)
+
+    return [
+        ("collide_bgk", call_collide),
+        ("stream_pull", lambda: _stream_core(f, out)),
+        ("stream_pull_padded", lambda: _stream_padded_core(f, out)),
+        ("skalak_forces", call_membrane_skalak),
+        ("bending_forces", call_membrane_bending),
+        ("ibm_interp", call_interp),
+        ("ibm_spread", call_spread),
+        ("ibm_spread_contrib",
+         lambda: _spread_contrib_core(w, vvals, contrib)),
+        ("ibm_spread_scatter",
+         lambda: _spread_scatter_core(flat, contrib, field_flat, 0, 8)),
+    ]
+
+
+if NUMBA_AVAILABLE:
+    from . import register_backend
+
+    register_backend(
+        "numba",
+        {
+            "collide_bgk": collide_bgk,
+            "stream_pull": stream_pull,
+            "stream_pull_padded": stream_pull_padded,
+            "skalak_forces": skalak_forces,
+            "bending_forces": bending_forces,
+            "ibm_interp": ibm_interp,
+            "ibm_spread": ibm_spread,
+            "ibm_spread_contrib": ibm_spread_contrib,
+            "ibm_spread_scatter": ibm_spread_scatter,
+        },
+    )

@@ -1,0 +1,80 @@
+"""NumPy reference implementations of the dispatchable kernels.
+
+These are the existing allocation-free hot-path routines re-exported (or
+thinly adapted) behind the registry interface; selecting the ``numpy``
+backend reproduces the pre-dispatch step bitwise.  The two sharded-spread
+stage kernels mirror the stage bodies of
+:class:`repro.parallel.fsi.FSIWorker` exactly — same masking, same
+``bincount`` reduction — so routing the worker through the registry
+changes nothing about the serial/threads/processes determinism argument.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ibm.coupling import interpolate_with_stencil, spread_with_stencil
+from ..lbm.collision import collide_bgk
+from ..lbm.streaming import stream_pull, stream_pull_padded
+from ..membrane.bending import bending_forces
+from ..membrane.skalak import skalak_forces
+
+
+def ibm_interp(field, stencil):
+    """Interpolate an Eulerian field at the stencil's markers."""
+    return interpolate_with_stencil(field, stencil)
+
+
+def ibm_spread(values, stencil, out_field, contrib_out=None):
+    """Spread marker values onto the Eulerian field, in place."""
+    spread_with_stencil(values, stencil, out_field, contrib_out=contrib_out)
+
+
+def ibm_spread_contrib(w, values, contrib_out):
+    """Weights × marker forces, flattened per component.
+
+    ``w`` is (N, S, S, S), ``values`` (N, 3), ``contrib_out`` a
+    (3, N*S^3) view covering this marker chunk's slots (stage one of the
+    sharded spread).
+    """
+    for d in range(3):
+        np.multiply(
+            w, values[:, d][:, None, None, None],
+            out=contrib_out[d].reshape(w.shape),
+        )
+
+
+def ibm_spread_scatter(flat, contrib, field_flat, lo, hi):
+    """Bincount-reduce spread contributions into one flat node range.
+
+    Masking the full flat array keeps the per-node summation order
+    identical to one global ``bincount`` (positions stay sorted), which
+    is what makes the node-sharded scatter bitwise equal to the serial
+    spread (stage two of the sharded spread).
+    """
+    if hi <= lo:
+        return
+    mask = (flat >= lo) & (flat < hi)
+    idx = flat[mask] - lo
+    for d in range(3):
+        field_flat[d, lo:hi] += np.bincount(
+            idx, weights=contrib[d][mask], minlength=hi - lo
+        )
+
+
+from . import register_backend  # noqa: E402  (import cycle: registry first)
+
+register_backend(
+    "numpy",
+    {
+        "collide_bgk": collide_bgk,
+        "stream_pull": stream_pull,
+        "stream_pull_padded": stream_pull_padded,
+        "skalak_forces": skalak_forces,
+        "bending_forces": bending_forces,
+        "ibm_interp": ibm_interp,
+        "ibm_spread": ibm_spread,
+        "ibm_spread_contrib": ibm_spread_contrib,
+        "ibm_spread_scatter": ibm_spread_scatter,
+    },
+)

@@ -54,6 +54,10 @@ class DistributedLBMSolver:
     halo_mode:
         ``"exchange"`` (ship post-collision halos) or ``"recompute"``
         (pre-exchange ``f`` and redundantly collide the ghost rim).
+    kernels:
+        Kernels backend for the rank-local collide/stream
+        (``"numpy"`` | ``"numba"``; ``None`` resolves via
+        ``REPRO_KERNELS``, which also overrides an explicit argument).
 
     The processes backend holds OS resources (worker processes and
     shared-memory segments): call :meth:`close` when done, or use the
@@ -69,6 +73,7 @@ class DistributedLBMSolver:
         backend: str | None = None,
         n_workers: int | None = None,
         halo_mode: str = "exchange",
+        kernels: str | None = None,
     ):
         self.shape = tuple(shape)
         self.tau = float(tau)
@@ -82,6 +87,9 @@ class DistributedLBMSolver:
         self.backend, self.n_workers = resolve_backend(
             backend, n_workers, n_tasks
         )
+        from ..kernels import resolve_kernels
+
+        self.kernels = resolve_kernels(kernels)
         self.blocks = RankBlocks(
             self.decomp, shared=(self.backend == "processes")
         )
@@ -90,7 +98,8 @@ class DistributedLBMSolver:
         self.locals = self.blocks.f
         self._scratch = self.blocks.post
         self.executor = make_executor(
-            self.backend, self.blocks, self.tau, self.n_workers
+            self.backend, self.blocks, self.tau, self.n_workers,
+            kernels=self.kernels,
         )
         self.step_count = 0
         self._steps_at_reset = 0

@@ -44,9 +44,9 @@ from multiprocessing import shared_memory
 
 import numpy as np
 
-from ..lbm.collision import CollisionScratch, collide_bgk
+from ..kernels import get_kernel_table, resolve_kernels
+from ..lbm.collision import CollisionScratch
 from ..lbm.lattice import D3Q19
-from ..lbm.streaming import stream_pull_padded
 from .decomposition import BlockDecomposition
 from .halo import fill_rank_halo
 
@@ -165,10 +165,15 @@ class ChunkRunner:
     across same-shaped blocks without races).
     """
 
-    def __init__(self, ranks: list[int], decomp: BlockDecomposition, tau: float):
+    def __init__(self, ranks: list[int], decomp: BlockDecomposition,
+                 tau: float, kernels: str | None = None):
         self.ranks = list(ranks)
         self.decomp = decomp
         self.tau = float(tau)
+        self.kernels = resolve_kernels(kernels)
+        table = get_kernel_table(self.kernels)
+        self._collide = table["collide_bgk"]
+        self._stream_padded = table["stream_pull_padded"]
         self._scratch: dict[tuple[int, ...], CollisionScratch] = {}
 
     def _scratch_for(self, shape: tuple[int, ...]) -> CollisionScratch:
@@ -199,7 +204,7 @@ class ChunkRunner:
                 # rim is overwritten by the halo fill; in recompute mode
                 # the rim was pre-exchanged, so colliding it *is* the
                 # paper's recompute-instead-of-communicate trick.
-                collide_bgk(
+                self._collide(
                     f_arrs[r],
                     self.tau,
                     out=post_arrs[r],
@@ -210,7 +215,7 @@ class ChunkRunner:
             elif phase == "halo_post":
                 transfers.extend(fill_rank_halo(r, post_arrs, self.decomp))
             elif phase == "stream":
-                stream_pull_padded(post_arrs[r], out=f_arrs[r])
+                self._stream_padded(post_arrs[r], out=f_arrs[r])
             else:
                 raise ValueError(f"unknown phase {phase!r}")
             per_rank[r] = perf_counter() - t0
@@ -254,11 +259,12 @@ class SerialExecutor:
 
     backend = "serial"
 
-    def __init__(self, blocks: RankBlocks, tau: float, n_workers: int = 1):
+    def __init__(self, blocks: RankBlocks, tau: float, n_workers: int = 1,
+                 kernels: str | None = None):
         self.blocks = blocks
         self.n_workers = 1
         self._runner = ChunkRunner(
-            list(range(blocks.decomp.n_tasks)), blocks.decomp, tau
+            list(range(blocks.decomp.n_tasks)), blocks.decomp, tau, kernels
         )
 
     def run_phase(self, phase: str) -> PhaseResult:
@@ -276,10 +282,11 @@ class ThreadExecutor:
 
     backend = "threads"
 
-    def __init__(self, blocks: RankBlocks, tau: float, n_workers: int):
+    def __init__(self, blocks: RankBlocks, tau: float, n_workers: int,
+                 kernels: str | None = None):
         self.blocks = blocks
         self._runners = [
-            ChunkRunner(ranks, blocks.decomp, tau)
+            ChunkRunner(ranks, blocks.decomp, tau, kernels)
             for ranks in _chunk_ranks(blocks.decomp.n_tasks, n_workers)
         ]
         self.n_workers = len(self._runners)
@@ -318,12 +325,16 @@ def _attach_segment(name: str) -> shared_memory.SharedMemory:
     return shared_memory.SharedMemory(name=name)
 
 
-def _worker_main(conn, ranks, segment_names, decomp, tau) -> None:
+def _worker_main(conn, ranks, segment_names, decomp, tau,
+                 kernels=None) -> None:
     """Worker loop: attach the shared blocks, serve phase commands.
 
     One worker is pinned to its rank chunk for the life of the run; the
     parent acts as the barrier by collecting every worker's reply before
-    issuing the next phase.
+    issuing the next phase.  ``kernels`` arrives pre-resolved from the
+    parent so every worker runs the same kernels backend the parent
+    selected (the child re-resolves it against its own numba
+    availability, falling back to NumPy rather than dying).
     """
     segments = []
     pairs: list[np.ndarray] = []
@@ -341,7 +352,7 @@ def _worker_main(conn, ranks, segment_names, decomp, tau) -> None:
             pairs.append(pair)
             f_arrs.append(pair[0])
             post_arrs.append(pair[1])
-        runner = ChunkRunner(ranks, decomp, tau)
+        runner = ChunkRunner(ranks, decomp, tau, kernels)
         while True:
             cmd = conn.recv()
             if cmd == "stop":
@@ -386,10 +397,12 @@ class ProcessExecutor:
 
     backend = "processes"
 
-    def __init__(self, blocks: RankBlocks, tau: float, n_workers: int):
+    def __init__(self, blocks: RankBlocks, tau: float, n_workers: int,
+                 kernels: str | None = None):
         if not blocks.shared:
             raise ValueError("processes backend requires shared rank blocks")
         self.blocks = blocks
+        kernels = resolve_kernels(kernels)
         methods = mp.get_all_start_methods()
         ctx = mp.get_context("fork" if "fork" in methods else "spawn")
         chunks = _chunk_ranks(blocks.decomp.n_tasks, n_workers)
@@ -401,7 +414,7 @@ class ProcessExecutor:
             proc = ctx.Process(
                 target=_worker_main,
                 args=(child_conn, ranks, blocks.segment_names,
-                      blocks.decomp, tau),
+                      blocks.decomp, tau, kernels),
                 daemon=True,
                 name=f"repro-rank-{ranks[0]}-{ranks[-1]}",
             )
@@ -432,12 +445,13 @@ def make_executor(
     blocks: RankBlocks,
     tau: float,
     n_workers: int,
+    kernels: str | None = None,
 ):
     """Build the executor for a resolved backend name."""
     if backend == "serial":
-        return SerialExecutor(blocks, tau)
+        return SerialExecutor(blocks, tau, kernels=kernels)
     if backend == "threads":
-        return ThreadExecutor(blocks, tau, n_workers)
+        return ThreadExecutor(blocks, tau, n_workers, kernels=kernels)
     if backend == "processes":
-        return ProcessExecutor(blocks, tau, n_workers)
+        return ProcessExecutor(blocks, tau, n_workers, kernels=kernels)
     raise ValueError(f"unknown backend {backend!r}; pick one of {BACKENDS}")

@@ -1,0 +1,228 @@
+"""Dispatch-seam contracts of the repro.kernels registry.
+
+Selection precedence (the deliberate env-wins inversion), unknown-name
+errors, the numba-absent fallback, registry round-trips, partial-backend
+fallback to the numpy reference, and the telemetry gauge — everything a
+call site relies on before any numerical kernel runs.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import kernels
+from repro.kernels import numba_backend
+from repro.telemetry import Telemetry, active
+
+
+@pytest.fixture(autouse=True)
+def clean_env(monkeypatch):
+    """Every test starts from an unset REPRO_KERNELS."""
+    monkeypatch.delenv(kernels.ENV_VAR, raising=False)
+
+
+# ----------------------------------------------------------------------
+# Availability probe and defaults
+
+
+def test_available_backends_reference_first():
+    backends = kernels.available_backends()
+    assert backends[0] == "numpy"
+    assert ("numba" in backends) == numba_backend.NUMBA_AVAILABLE
+
+
+def test_resolve_default_is_numpy():
+    assert kernels.resolve_kernels(None) == "numpy"
+    assert kernels.resolve_kernels() == kernels.DEFAULT_BACKEND
+
+
+def test_resolve_explicit_numpy():
+    assert kernels.resolve_kernels("numpy") == "numpy"
+
+
+# ----------------------------------------------------------------------
+# Precedence: the env var, when set, wins over the constructor argument.
+
+
+def test_env_wins_over_constructor_argument(monkeypatch):
+    monkeypatch.setenv(kernels.ENV_VAR, "numpy")
+    # An explicit "numba" request is overridden by the environment —
+    # the inversion of the REPRO_PARALLEL_* precedence, so an operator
+    # can force the reference kernels process-wide.
+    assert kernels.resolve_kernels("numba") == "numpy"
+
+
+@pytest.mark.skipif(not numba_backend.NUMBA_AVAILABLE,
+                    reason="numba not installed")
+def test_env_numba_wins_over_numpy_argument(monkeypatch):
+    monkeypatch.setenv(kernels.ENV_VAR, "numba")
+    assert kernels.resolve_kernels("numpy") == "numba"
+
+
+def test_env_reaches_solver_and_stepper(monkeypatch):
+    from repro.fsi import CellManager, FSIStepper
+    from repro.lbm import Grid, LBMSolver
+    from repro.units import UnitSystem
+
+    monkeypatch.setenv(kernels.ENV_VAR, "numpy")
+    g = Grid((4, 4, 4), tau=1.0)
+    assert LBMSolver(g, kernels=None).kernels == "numpy"
+    dx = 0.65e-6
+    st = FSIStepper(Grid((4, 4, 4), tau=1.0, origin=np.zeros(3), spacing=dx),
+                    UnitSystem(dx, 1e-6, 1025.0), CellManager(), mode="wrap")
+    assert st.kernels == "numpy"
+    assert st.coupler.kernels == "numpy"
+    assert st.solver.kernels == "numpy"
+    st.close()
+
+
+# ----------------------------------------------------------------------
+# Unknown names raise, with the request source attributed.
+
+
+def test_unknown_backend_argument_raises():
+    with pytest.raises(ValueError, match="cuda"):
+        kernels.resolve_kernels("cuda")
+    with pytest.raises(ValueError, match="backend="):
+        kernels.resolve_kernels("cuda")
+
+
+def test_unknown_backend_env_raises_with_env_attribution(monkeypatch):
+    monkeypatch.setenv(kernels.ENV_VAR, "tpu")
+    with pytest.raises(ValueError, match=kernels.ENV_VAR):
+        kernels.resolve_kernels("numpy")
+
+
+def test_unknown_kernel_name_raises():
+    with pytest.raises(KeyError, match="no_such_kernel"):
+        kernels.get_kernel("no_such_kernel")
+
+
+# ----------------------------------------------------------------------
+# numba-absent fallback: warn once, return the reference backend.
+
+
+@pytest.mark.skipif(numba_backend.NUMBA_AVAILABLE,
+                    reason="numba is installed; fallback unreachable")
+def test_numba_fallback_warns_once(monkeypatch):
+    monkeypatch.setattr(kernels, "_warned_fallback", False)
+    with pytest.warns(RuntimeWarning, match="falling back"):
+        assert kernels.resolve_kernels("numba") == "numpy"
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")  # second resolve must stay silent
+        assert kernels.resolve_kernels("numba") == "numpy"
+
+
+@pytest.mark.skipif(numba_backend.NUMBA_AVAILABLE,
+                    reason="numba is installed; fallback unreachable")
+def test_numba_fallback_via_env(monkeypatch):
+    monkeypatch.setenv(kernels.ENV_VAR, "numba")
+    monkeypatch.setattr(kernels, "_warned_fallback", False)
+    with pytest.warns(RuntimeWarning):
+        assert kernels.resolve_kernels(None) == "numpy"
+
+
+# ----------------------------------------------------------------------
+# Registry round-trips and partial-backend fallback.
+
+
+def test_every_kernel_registered_for_numpy():
+    for name in kernels.KERNEL_NAMES:
+        assert callable(kernels.get_kernel(name, "numpy"))
+    table = kernels.get_kernel_table("numpy")
+    assert set(kernels.KERNEL_NAMES) <= set(table)
+    for fn in table.values():
+        assert callable(fn)
+
+
+@pytest.mark.skipif(not numba_backend.NUMBA_AVAILABLE,
+                    reason="numba not installed")
+def test_numba_table_complete_and_distinct():
+    table = kernels.get_kernel_table("numba")
+    ref = kernels.get_kernel_table("numpy")
+    for name in kernels.KERNEL_NAMES:
+        assert table[name] is not ref[name]
+
+
+def test_partial_backend_falls_back_to_numpy_reference():
+    sentinel = object()
+
+    def fake_collide(*a, **k):  # pragma: no cover - never called
+        return sentinel
+
+    kernels.register_backend("fake", {"collide_bgk": fake_collide})
+    try:
+        assert "fake" in kernels.available_backends()
+        assert kernels.get_kernel("collide_bgk", "fake") is fake_collide
+        # Kernels the partial backend does not provide resolve to the
+        # numpy reference implementation.
+        assert (kernels.get_kernel("stream_pull", "fake")
+                is kernels.get_kernel("stream_pull", "numpy"))
+        table = kernels.get_kernel_table("fake")
+        assert table["collide_bgk"] is fake_collide
+        assert table["skalak_forces"] is kernels.get_kernel(
+            "skalak_forces", "numpy")
+    finally:
+        for impls in kernels._REGISTRY.values():
+            impls.pop("fake", None)
+    assert "fake" not in kernels.available_backends()
+
+
+def test_register_kernel_is_a_decorator():
+    try:
+        @kernels.register_kernel("decorated_extra", "numpy")
+        def extra():
+            return 42
+
+        assert kernels.get_kernel("decorated_extra", "numpy") is extra
+    finally:
+        kernels._REGISTRY.pop("decorated_extra", None)
+
+
+# ----------------------------------------------------------------------
+# Telemetry gauge and warmup.
+
+
+def test_kernel_table_publishes_backend_gauge():
+    tel = Telemetry()
+    with active(tel):
+        kernels.get_kernel_table("numpy")
+    assert tel.gauge("kernels.backend").value == kernels.BACKEND_IDS["numpy"]
+
+
+def test_warmup_numpy_is_empty():
+    assert kernels.warmup("numpy") == {}
+
+
+@pytest.mark.skipif(not numba_backend.NUMBA_AVAILABLE,
+                    reason="numba not installed")
+def test_warmup_numba_times_every_kernel():
+    times = kernels.warmup("numba")
+    assert set(times) == set(kernels.KERNEL_NAMES)
+    assert all(t >= 0.0 for t in times.values())
+
+
+# ----------------------------------------------------------------------
+# CLI plumbing: the --kernels flag parses on every stepper-building
+# subcommand (main() copies it into REPRO_KERNELS; env-wins does the rest).
+
+
+@pytest.mark.parametrize("argv", [
+    ["shear", "--kernels", "numpy"],
+    ["tube", "--kernels", "numpy"],
+    ["channel", "--kernels", "numpy"],
+    ["profile", "tube", "--kernels", "numpy"],
+])
+def test_cli_kernels_flag_parses(argv):
+    from repro.cli import build_parser
+
+    args = build_parser().parse_args(argv)
+    assert args.kernels == "numpy"
+
+
+def test_cli_kernels_flag_rejects_unknown():
+    from repro.cli import build_parser
+
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["tube", "--kernels", "cuda"])

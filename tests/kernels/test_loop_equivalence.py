@@ -1,0 +1,214 @@
+"""Numba loop bodies vs the NumPy reference kernels, on tiny inputs.
+
+The numba backend module always imports: without numba installed the
+``@njit`` decorator degrades to a pass-through and the loop bodies run
+as plain Python, so these equivalence checks exercise the exact code
+numba compiles — with or without numba present.  Tolerances match the
+backend's contract: streaming and the spread staging/scatter are
+bitwise, collide/membrane/coupling are held to 1e-12 (loop-order
+reassociation against NumPy's pairwise sums and BLAS matmuls).
+"""
+
+import numpy as np
+import pytest
+
+from repro.ibm.coupling import make_stencil
+from repro.kernels import numba_backend as nb
+from repro.kernels import numpy_backend as ref
+from repro.membrane import make_rbc
+
+SHAPE = (5, 4, 3)
+RNG = np.random.default_rng(42)
+
+
+def _rel(a, b):
+    scale = max(np.abs(b).max(), 1e-300)
+    return np.abs(a - b).max() / scale
+
+
+def _random_f():
+    return 1.0 / 19.0 + 0.01 * RNG.random((19,) + SHAPE)
+
+
+def _cell():
+    c = make_rbc(np.zeros(3), global_id=0, subdivisions=1)
+    # A non-trivial deformation so every force term is exercised.
+    v = c.vertices * (1.0 + 0.05 * RNG.random(c.vertices.shape))
+    return v, c.reference
+
+
+# ----------------------------------------------------------------------
+# LBM
+
+
+@pytest.mark.parametrize("use_force", [False, True])
+@pytest.mark.parametrize("tau_kind", ["scalar", "field"])
+def test_collide_bgk_matches_reference(use_force, tau_kind):
+    f = _random_f()
+    tau = (0.8 if tau_kind == "scalar"
+           else 0.7 + 0.4 * RNG.random(SHAPE))
+    force = 1e-3 * RNG.standard_normal((3,) + SHAPE) if use_force else None
+    want, rho_w, u_w = ref.collide_bgk(f, tau, force)
+    got, rho_g, u_g = nb.collide_bgk(f, tau, force)
+    assert np.array_equal(rho_g, rho_w)  # both from the numpy moments
+    assert _rel(got, want) < 1e-12
+    assert _rel(u_g, u_w) < 1e-12
+
+
+def test_collide_bgk_moments_in_contract():
+    """Cached post-stream moments short-circuit the moment recomputation."""
+    from repro.lbm.collision import moments
+
+    f = _random_f()
+    rho, mom = moments(f)
+    got, rho_g, _ = nb.collide_bgk(f, 0.9, None, moments_in=(rho, mom))
+    want, _, _ = ref.collide_bgk(f, 0.9, None)
+    assert rho_g is rho
+    assert _rel(got, want) < 1e-12
+
+
+def test_stream_pull_bitwise():
+    f = _random_f()
+    assert np.array_equal(nb.stream_pull(f), ref.stream_pull(f))
+
+
+def test_stream_pull_rejects_in_place():
+    f = _random_f()
+    with pytest.raises(ValueError):
+        nb.stream_pull(f, out=f)
+
+
+def test_stream_pull_padded_bitwise():
+    f = _random_f()
+    out_nb = np.zeros_like(f)
+    out_ref = np.zeros_like(f)
+    nb.stream_pull_padded(f, out_nb)
+    ref.stream_pull_padded(f, out_ref)
+    assert np.array_equal(out_nb, out_ref)
+    # Interior writes only: the halo rim stays untouched.
+    assert np.array_equal(out_nb[:, 0], np.zeros_like(out_nb[:, 0]))
+
+
+# ----------------------------------------------------------------------
+# Membrane
+
+
+def test_skalak_forces_match_reference():
+    v, r = _cell()
+    want = ref.skalak_forces(v, r, 5e-6, 100.0)
+    got = nb.skalak_forces(v, r, 5e-6, 100.0)
+    assert got.shape == want.shape
+    assert _rel(got, want) < 1e-12
+
+
+def test_skalak_forces_batched():
+    v, r = _cell()
+    vb = np.stack([v, v * 1.01])
+    want = ref.skalak_forces(vb, r, 5e-6, 100.0)
+    got = nb.skalak_forces(vb, r, 5e-6, 100.0)
+    assert got.shape == want.shape
+    assert _rel(got, want) < 1e-12
+
+
+def test_bending_forces_match_reference():
+    v, r = _cell()
+    want = ref.bending_forces(v, r.quads, r.theta0, 1e-19)
+    got = nb.bending_forces(v, r.quads, r.theta0, 1e-19)
+    assert got.shape == want.shape
+    assert _rel(got, want) < 1e-12
+
+
+# ----------------------------------------------------------------------
+# IBM coupling
+
+
+def _stencil(n=7, shape=(8, 8, 8), mode="wrap"):
+    pos = RNG.random((n, 3)) * (np.asarray(shape) - 1)
+    return make_stencil(pos, shape, "cosine4", mode)
+
+
+def test_ibm_interp_vector_and_scalar():
+    st = _stencil()
+    vec = RNG.standard_normal((3, 8, 8, 8))
+    assert _rel(nb.ibm_interp(vec, st), ref.ibm_interp(vec, st)) < 1e-12
+    scal = RNG.standard_normal((8, 8, 8))
+    assert _rel(nb.ibm_interp(scal, st), ref.ibm_interp(scal, st)) < 1e-12
+
+
+def test_ibm_spread_vector_and_scalar():
+    st = _stencil()
+    vals = RNG.standard_normal((st.n_markers, 3))
+    out_nb = np.zeros((3, 8, 8, 8))
+    out_ref = np.zeros((3, 8, 8, 8))
+    nb.ibm_spread(vals, st, out_nb)
+    ref.ibm_spread(vals, st, out_ref)
+    assert _rel(out_nb, out_ref) < 1e-12
+    # Conservation: every spread weight sums into the lattice.
+    assert np.isclose(out_nb.sum(), vals.sum())
+    s_nb = np.zeros((8, 8, 8))
+    s_ref = np.zeros((8, 8, 8))
+    nb.ibm_spread(vals[:, :1], st, s_nb)
+    ref.ibm_spread(vals[:, :1], st, s_ref)
+    assert _rel(s_nb, s_ref) < 1e-12
+
+
+def test_ibm_spread_contrib_bitwise():
+    st = _stencil()
+    vals = RNG.standard_normal((st.n_markers, 3))
+    s3 = st.w.shape[1] ** 3
+    c_nb = np.empty((3, st.n_markers * s3))
+    c_ref = np.empty_like(c_nb)
+    nb.ibm_spread_contrib(st.w, vals, c_nb)
+    ref.ibm_spread_contrib(st.w, vals, c_ref)
+    assert np.array_equal(c_nb, c_ref)
+
+
+def test_ibm_spread_scatter_bitwise():
+    """Serial ascending-position accumulation reproduces bincount exactly,
+    including the lo/hi node-range masking of the sharded spread."""
+    st = _stencil()
+    vals = RNG.standard_normal((st.n_markers, 3))
+    s3 = st.w.shape[1] ** 3
+    contrib = np.empty((3, st.n_markers * s3))
+    ref.ibm_spread_contrib(st.w, vals, contrib)
+    flat = st.flat_indices()
+    size = 8 * 8 * 8
+    for lo, hi in [(0, size), (0, size // 2), (size // 2, size), (100, 300)]:
+        f_nb = np.zeros((3, size))
+        f_ref = np.zeros((3, size))
+        nb.ibm_spread_scatter(flat, contrib, f_nb, lo, hi)
+        ref.ibm_spread_scatter(flat, contrib, f_ref, lo, hi)
+        assert np.array_equal(f_nb, f_ref), (lo, hi)
+    # Two disjoint shards tile the serial full-range scatter exactly.
+    f_full = np.zeros((3, size))
+    f_shard = np.zeros((3, size))
+    ref.ibm_spread_scatter(flat, contrib, f_full, 0, size)
+    nb.ibm_spread_scatter(flat, contrib, f_shard, 0, size // 2)
+    nb.ibm_spread_scatter(flat, contrib, f_shard, size // 2, size)
+    assert np.array_equal(f_shard, f_full)
+
+
+def test_spread_interp_adjointness():
+    """<spread(G), u> == <G, interp(u)> — the IBM adjoint pair, on the
+    numba implementations themselves."""
+    st = _stencil()
+    g = RNG.standard_normal((st.n_markers, 3))
+    u = RNG.standard_normal((3, 8, 8, 8))
+    field = np.zeros_like(u)
+    nb.ibm_spread(g, st, field)
+    lhs = float((field * u).sum())
+    rhs = float((g * nb.ibm_interp(u, st)).sum())
+    assert np.isclose(lhs, rhs, rtol=1e-12)
+
+
+# ----------------------------------------------------------------------
+# Warmup thunks run the real cores (compiling them when numba is present).
+
+
+def test_warmup_calls_cover_all_kernels_and_run():
+    from repro.kernels import KERNEL_NAMES
+
+    calls = nb.warmup_calls()
+    assert [name for name, _ in calls] == list(KERNEL_NAMES)
+    for _, thunk in calls:
+        thunk()
