@@ -10,9 +10,18 @@ downstream user can regenerate any paper artifact without writing code:
     python -m repro scaling
     python -m repro scaling --measured --backend processes --workers 4
     python -m repro profile tube --steps 50 --telemetry-dir out/
-    python -m repro campaign run sweep.toml --out out/sweep
+    python -m repro trace tube --steps 20 --backend processes --out t.json
+    python -m repro campaign run sweep.toml --out out/sweep --serve-status 0
     python -m repro campaign status out/sweep
     python -m repro campaign resume out/sweep
+
+``trace`` records per-occurrence spans (driver phases plus per-rank
+worker intervals) and exports a Chrome-trace JSON loadable in Perfetto;
+``--serve-status PORT`` on experiment/campaign runs exposes live
+``/status``, ``/metrics`` (Prometheus) and ``/events/tail`` over HTTP
+while the run is in flight, and ``campaign status`` automatically
+queries the live endpoint of a running campaign before falling back to
+on-disk artifacts.
 
 Experiment subcommands accept ``--telemetry-dir DIR`` to record phase
 timings, metrics and events for the run (``events.jsonl`` +
@@ -131,47 +140,119 @@ def _cmd_scaling(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_profile(args: argparse.Namespace) -> int:
-    import os
-
-    from .telemetry import Telemetry, active
-
+def _set_parallel_env(args: argparse.Namespace) -> None:
     # Experiments build their steppers internally, so the backend choice
     # travels via the env vars resolve_fsi_backend already honors.
-    if args.backend is not None:
+    import os
+
+    if getattr(args, "backend", None) is not None:
         os.environ["REPRO_PARALLEL_BACKEND"] = args.backend
-    if args.workers is not None:
+    if getattr(args, "workers", None) is not None:
         os.environ["REPRO_PARALLEL_WORKERS"] = str(args.workers)
 
+
+def _run_instrumented_experiment(args: argparse.Namespace) -> None:
+    """The shared experiment dispatch behind ``profile`` and ``trace``."""
+    if args.experiment == "tube":
+        from .experiments.tube_window import run_tube_window
+
+        r = run_tube_window(hematocrit=args.hematocrit, steps=args.steps)
+        print(f"tube: final Ht {r.hematocrit[-1]:.3f}, "
+              f"cells {r.n_cells_final} (+{r.n_inserted}/-{r.n_removed})")
+    elif args.experiment == "shear":
+        from .experiments.shear_layers import run_shear_layers
+
+        r = run_shear_layers(lam=args.lam, n=args.ratio, steps=args.steps)
+        print(f"shear: bulk L2 error {r.error_bulk:.4f}, "
+              f"window L2 error {r.error_window:.4f}")
+    else:  # channel
+        from .experiments.expanding_channel import run_expanding_channel_apr
+
+        r = run_expanding_channel_apr(seed=args.seed, steps=args.steps)
+        print(f"channel: {r.n_rbcs} RBCs, "
+              f"z -> {r.trajectory[-1, 2] * 1e6:.1f} um")
+
+
+def _maybe_serve(tel, args: argparse.Namespace):
+    """Start the live /status endpoint when ``--serve-status`` was given.
+
+    Returns a ServeHandle to close after the run, or None.  The snapshot
+    and discovery files need a directory, so serving requires
+    ``--telemetry-dir``.
+    """
+    port = getattr(args, "serve_status", None)
+    if port is None:
+        return None
+    if tel.out_dir is None:
+        print("error: --serve-status requires --telemetry-dir",
+              file=sys.stderr)
+        raise SystemExit(2)
+    from .telemetry import build_status
+    from .telemetry.server import serve_status
+
+    handle = serve_status(
+        lambda: build_status(tel),
+        tel.out_dir,
+        port=port,
+        events_path=tel.out_dir / "events.jsonl",
+        kind=args.command,
+    )
+    print(f"live status: {handle.url}/status")
+    return handle
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from .telemetry import Telemetry, active
+
+    _set_parallel_env(args)
     tel = Telemetry(
         out_dir=args.telemetry_dir,
         meta={"experiment": args.experiment, "steps": args.steps},
     )
-    with tel, active(tel):
-        tel.event("run_start", experiment=args.experiment, steps=args.steps)
-        if args.experiment == "tube":
-            from .experiments.tube_window import run_tube_window
+    serve = None
+    try:
+        with tel, active(tel):
+            serve = _maybe_serve(tel, args)
+            tel.event("run_start", experiment=args.experiment,
+                      steps=args.steps)
+            _run_instrumented_experiment(args)
+            tel.event("run_end")
+            if args.telemetry_dir is not None:
+                summary_path = tel.write_summary()
+                print(f"wrote {tel.out_dir / 'events.jsonl'} "
+                      f"and {summary_path}")
+            print(tel.render_summary())
+    finally:
+        if serve is not None:
+            serve.close()
+    return 0
 
-            r = run_tube_window(hematocrit=args.hematocrit, steps=args.steps)
-            print(f"tube: final Ht {r.hematocrit[-1]:.3f}, "
-                  f"cells {r.n_cells_final} (+{r.n_inserted}/-{r.n_removed})")
-        elif args.experiment == "shear":
-            from .experiments.shear_layers import run_shear_layers
 
-            r = run_shear_layers(lam=args.lam, n=args.ratio, steps=args.steps)
-            print(f"shear: bulk L2 error {r.error_bulk:.4f}, "
-                  f"window L2 error {r.error_window:.4f}")
-        else:  # channel
-            from .experiments.expanding_channel import run_expanding_channel_apr
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .telemetry import Telemetry, active
 
-            r = run_expanding_channel_apr(seed=args.seed, steps=args.steps)
-            print(f"channel: {r.n_rbcs} RBCs, "
-                  f"z -> {r.trajectory[-1, 2] * 1e6:.1f} um")
-        tel.event("run_end")
-        if args.telemetry_dir is not None:
-            summary_path = tel.write_summary()
-            print(f"wrote {tel.out_dir / 'events.jsonl'} and {summary_path}")
-        print(tel.render_summary())
+    _set_parallel_env(args)
+    tel = Telemetry(
+        out_dir=args.telemetry_dir,
+        trace=True,
+        meta={"experiment": args.experiment, "steps": args.steps},
+    )
+    serve = None
+    try:
+        with tel, active(tel):
+            serve = _maybe_serve(tel, args)
+            tel.event("run_start", experiment=args.experiment,
+                      steps=args.steps)
+            _run_instrumented_experiment(args)
+            tel.event("run_end")
+            if args.telemetry_dir is not None:
+                tel.write_summary()
+    finally:
+        if serve is not None:
+            serve.close()
+    path = tel.write_trace(args.out)
+    print(f"wrote {len(tel.tracer)} spans to {path}")
+    print("open in https://ui.perfetto.dev or chrome://tracing")
     return 0
 
 
@@ -194,7 +275,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
     if args.campaign_command == "run":
         manifest = load_manifest(args.manifest)
-        report = CampaignRunner(manifest, args.out).run()
+        report = CampaignRunner(
+            manifest, args.out, serve_port=args.serve_status
+        ).run()
         print(render_report(report))
         return 0 if report["counts"]["failed"] == 0 else 1
     if args.campaign_command == "resume":
@@ -206,12 +289,16 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             return 2
         manifest = load_campaign_manifest(args.dir)
-        report = CampaignRunner(manifest, args.dir).run(resume=True)
+        report = CampaignRunner(
+            manifest, args.dir, serve_port=args.serve_status
+        ).run(resume=True)
         print(render_report(report))
         return 0 if report["counts"]["failed"] == 0 else 1
-    # status: read-only aggregate of whatever the ledger/results show.
-    report = build_report(args.dir)
-    print(render_report(report))
+    # status: prefer the live endpoint of a still-running campaign, fall
+    # back to the last snapshot, then the offline ledger/result report.
+    from .service.status import campaign_status, render_status
+
+    print(render_status(campaign_status(args.dir)))
     return 0
 
 
@@ -236,6 +323,18 @@ def _add_telemetry_flag(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_serve_flag(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--serve-status",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve live /status, /metrics and /events/tail on "
+             "127.0.0.1:PORT while running (0 = ephemeral port; "
+             "requires --telemetry-dir)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="APR blood-flow reproduction experiments"
@@ -250,6 +349,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--csv", type=str, default=None)
     _add_kernels_flag(p)
     _add_telemetry_flag(p)
+    _add_serve_flag(p)
     p.set_defaults(func=_cmd_shear)
 
     p = sub.add_parser("tube", help="Fig. 5 hematocrit maintenance")
@@ -257,6 +357,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--steps", type=int, default=100)
     _add_kernels_flag(p)
     _add_telemetry_flag(p)
+    _add_serve_flag(p)
     p.set_defaults(func=_cmd_tube)
 
     p = sub.add_parser("channel", help="Fig. 6 expanding-channel trajectory")
@@ -265,6 +366,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--steps", type=int, default=100)
     _add_kernels_flag(p)
     _add_telemetry_flag(p)
+    _add_serve_flag(p)
     p.set_defaults(func=_cmd_channel)
 
     p = sub.add_parser("tables", help="Tables 2-3 capability arithmetic")
@@ -312,7 +414,32 @@ def build_parser() -> argparse.ArgumentParser:
                    help="FSI worker count (default: REPRO_PARALLEL_WORKERS)")
     _add_kernels_flag(p)
     _add_telemetry_flag(p)
+    _add_serve_flag(p)
     p.set_defaults(func=_cmd_profile)
+
+    p = sub.add_parser(
+        "trace",
+        help="run an experiment with span tracing and export a "
+             "Chrome-trace JSON timeline (Perfetto-loadable)",
+    )
+    p.add_argument("experiment", choices=("tube", "shear", "channel"))
+    p.add_argument("--out", type=str, default="trace.json", metavar="FILE",
+                   help="Chrome-trace output path (default: trace.json)")
+    p.add_argument("--steps", type=int, default=50)
+    p.add_argument("--hematocrit", type=float, default=0.2)
+    p.add_argument("--lam", type=float, default=0.5)
+    p.add_argument("--ratio", type=int, default=2)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--backend", default=None,
+                   choices=("serial", "threads", "processes"),
+                   help="FSI executor backend "
+                        "(default: REPRO_PARALLEL_BACKEND or serial)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="FSI worker count (default: REPRO_PARALLEL_WORKERS)")
+    _add_kernels_flag(p)
+    _add_telemetry_flag(p)
+    _add_serve_flag(p)
+    p.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser(
         "campaign",
@@ -325,6 +452,7 @@ def build_parser() -> argparse.ArgumentParser:
     pc.add_argument("manifest", help="TOML or JSON campaign manifest")
     pc.add_argument("--out", required=True, metavar="DIR",
                     help="campaign output directory (ledger, jobs/, report)")
+    _add_serve_flag(pc)
     pc.set_defaults(func=_cmd_campaign)
 
     pc = csub.add_parser(
@@ -339,6 +467,7 @@ def build_parser() -> argparse.ArgumentParser:
              "the rest restart from their last checkpoint shard",
     )
     pc.add_argument("dir", help="campaign directory from 'campaign run'")
+    _add_serve_flag(pc)
     pc.set_defaults(func=_cmd_campaign)
 
     # Internal: one-job worker subprocess launched by the scheduler.
@@ -361,19 +490,31 @@ def main(argv: list[str] | None = None) -> int:
 
         os.environ["REPRO_KERNELS"] = args.kernels
     tdir = getattr(args, "telemetry_dir", None)
-    if tdir is not None and args.command != "profile":
+    if tdir is not None and args.command not in ("profile", "trace"):
         # Opt-in telemetry wrapper for the plain experiment subcommands;
-        # ``profile`` manages its own backend (and console rendering).
+        # ``profile``/``trace`` manage their own backend (and rendering).
         from .telemetry import Telemetry, active
 
         tel = Telemetry(out_dir=tdir, meta={"command": args.command})
-        with tel, active(tel):
-            tel.event("run_start", command=args.command)
-            rc = args.func(args)
-            tel.event("run_end", returncode=rc)
-            summary_path = tel.write_summary()
-            print(f"wrote {tel.out_dir / 'events.jsonl'} and {summary_path}")
+        serve = None
+        try:
+            with tel, active(tel):
+                serve = _maybe_serve(tel, args)
+                tel.event("run_start", command=args.command)
+                rc = args.func(args)
+                tel.event("run_end", returncode=rc)
+                summary_path = tel.write_summary()
+                print(f"wrote {tel.out_dir / 'events.jsonl'} "
+                      f"and {summary_path}")
+        finally:
+            if serve is not None:
+                serve.close()
         return rc
+    if (getattr(args, "serve_status", None) is not None
+            and args.command not in ("profile", "trace", "campaign")):
+        print("error: --serve-status requires --telemetry-dir",
+              file=sys.stderr)
+        return 2
     return args.func(args)
 
 

@@ -137,27 +137,41 @@ class DistributedLBMSolver:
         for rank, dt in seconds_by_rank.items():
             acc[rank] = acc.get(rank, 0.0) + dt
 
+    def _run_traced(self, tel, phase_path: str, exec_phase: str):
+        """Run one executor phase under a driver phase/span.
+
+        With tracing on, the driver's open span id travels to the
+        workers (through the Pipe for the processes backend) and their
+        returned ``(rank, parent, t0, t1)`` intervals are merged into
+        the driver's timeline as child spans — one track per rank, all
+        on the shared monotonic clock.
+        """
+        tracer = tel.tracer
+        with tel.phase(phase_path):
+            res = self.executor.run_phase(
+                exec_phase, None if tracer is None else tracer.current_id
+            )
+        if tracer is not None:
+            for rank, parent, t0, t1 in res.spans:
+                tracer.add(exec_phase, t0, t1, parent_id=parent,
+                           rank=rank, category="worker")
+        return res
+
     def step(self, n: int = 1) -> None:
         """Advance the lattice by ``n`` time steps."""
         tel = get_telemetry()
-        ex = self.executor
         for _ in range(n):
             if self.halo_mode == "recompute":
                 # Pre-exchange f, then collide interior + ghost rim: the
                 # rim's post-collision values are recomputed locally
                 # instead of communicated (pointwise collide makes them
                 # bit-identical to the neighbor's own results).
-                with tel.phase("dist/halo"):
-                    res_halo = ex.run_phase("halo_f")
-                with tel.phase("dist/collide"):
-                    res_collide = ex.run_phase("collide")
+                res_halo = self._run_traced(tel, "dist/halo", "halo_f")
+                res_collide = self._run_traced(tel, "dist/collide", "collide")
             else:
-                with tel.phase("dist/collide"):
-                    res_collide = ex.run_phase("collide")
-                with tel.phase("dist/halo"):
-                    res_halo = ex.run_phase("halo_post")
-            with tel.phase("dist/stream"):
-                res_stream = ex.run_phase("stream")
+                res_collide = self._run_traced(tel, "dist/collide", "collide")
+                res_halo = self._run_traced(tel, "dist/halo", "halo_post")
+            res_stream = self._run_traced(tel, "dist/stream", "stream")
 
             self.halo.record(res_halo.transfers)
             self.last_step_bytes = res_halo.bytes_sent
@@ -167,6 +181,14 @@ class DistributedLBMSolver:
             self._accumulate("collide", res_collide.seconds_by_rank)
             self._accumulate("halo", res_halo.seconds_by_rank)
             self._accumulate("stream", res_stream.seconds_by_rank)
+            if tel.enabled:
+                tel.record_rank_seconds(
+                    "dist/collide", res_collide.seconds_by_rank
+                )
+                tel.record_rank_seconds("dist/halo", res_halo.seconds_by_rank)
+                tel.record_rank_seconds(
+                    "dist/stream", res_stream.seconds_by_rank
+                )
             self.step_count += 1
 
     # ------------------------------------------------------------------

@@ -187,14 +187,19 @@ class ChunkRunner:
         phase: str,
         f_arrs: list[np.ndarray],
         post_arrs: list[np.ndarray],
-    ) -> tuple[dict[int, float], list[tuple[int, int]]]:
+        parent_span: int | None = None,
+    ) -> tuple[dict[int, float], list[tuple[int, int]], list[tuple]]:
         """Run one phase over the chunk's ranks.
 
-        Returns per-rank wall seconds and the halo transfer records
-        (empty for compute phases).
+        Returns per-rank wall seconds, the halo transfer records (empty
+        for compute phases), and — when the driver passed its trace
+        ``parent_span`` id — one ``(rank, parent_span, t0, t1)`` span
+        interval per rank, stamped on the shared monotonic clock so the
+        driver can merge them into its timeline.
         """
         per_rank: dict[int, float] = {}
         transfers: list[tuple[int, int]] = []
+        spans: list[tuple] = []
         for r in self.ranks:
             t0 = perf_counter()
             if phase == "collide":
@@ -218,8 +223,11 @@ class ChunkRunner:
                 self._stream_padded(post_arrs[r], out=f_arrs[r])
             else:
                 raise ValueError(f"unknown phase {phase!r}")
-            per_rank[r] = perf_counter() - t0
-        return per_rank, transfers
+            t1 = perf_counter()
+            per_rank[r] = t1 - t0
+            if parent_span is not None:
+                spans.append((r, parent_span, t0, t1))
+        return per_rank, transfers, spans
 
 
 def _chunk_ranks(n_tasks: int, n_workers: int) -> list[list[int]]:
@@ -240,6 +248,9 @@ class PhaseResult:
 
     seconds_by_rank: dict[int, float] = field(default_factory=dict)
     transfers: list[tuple[int, int]] = field(default_factory=list)
+    #: ``(rank, parent_span_id, t0, t1)`` worker intervals; populated
+    #: only when the driver requested tracing for the phase.
+    spans: list[tuple] = field(default_factory=list)
 
     @property
     def bytes_sent(self) -> int:
@@ -267,11 +278,12 @@ class SerialExecutor:
             list(range(blocks.decomp.n_tasks)), blocks.decomp, tau, kernels
         )
 
-    def run_phase(self, phase: str) -> PhaseResult:
-        per_rank, transfers = self._runner.run(
-            phase, self.blocks.f, self.blocks.post
+    def run_phase(self, phase: str,
+                  parent_span: int | None = None) -> PhaseResult:
+        per_rank, transfers, spans = self._runner.run(
+            phase, self.blocks.f, self.blocks.post, parent_span
         )
-        return PhaseResult(per_rank, transfers)
+        return PhaseResult(per_rank, transfers, spans)
 
     def close(self) -> None:
         pass
@@ -295,16 +307,19 @@ class ThreadExecutor:
         )
         self._finalizer = weakref.finalize(self, self._pool.shutdown, False)
 
-    def run_phase(self, phase: str) -> PhaseResult:
+    def run_phase(self, phase: str,
+                  parent_span: int | None = None) -> PhaseResult:
         futures = [
-            self._pool.submit(rn.run, phase, self.blocks.f, self.blocks.post)
+            self._pool.submit(rn.run, phase, self.blocks.f,
+                              self.blocks.post, parent_span)
             for rn in self._runners
         ]
         result = PhaseResult()
         for fut in futures:  # barrier: a phase ends when every chunk has
-            per_rank, transfers = fut.result()
+            per_rank, transfers, spans = fut.result()
             result.seconds_by_rank.update(per_rank)
             result.transfers.extend(transfers)
+            result.spans.extend(spans)
         return result
 
     def close(self) -> None:
@@ -354,11 +369,20 @@ def _worker_main(conn, ranks, segment_names, decomp, tau,
             post_arrs.append(pair[1])
         runner = ChunkRunner(ranks, decomp, tau, kernels)
         while True:
-            cmd = conn.recv()
-            if cmd == "stop":
+            msg = conn.recv()
+            if msg == "stop":
                 break
-            per_rank, transfers = runner.run(cmd, f_arrs, post_arrs)
-            conn.send((per_rank, transfers))
+            # A traced phase arrives as ``(phase, parent_span_id)``; the
+            # untraced protocol stays the bare phase string, so tracing
+            # off costs the worker nothing new.
+            if isinstance(msg, tuple):
+                cmd, parent_span = msg
+            else:
+                cmd, parent_span = msg, None
+            per_rank, transfers, spans = runner.run(
+                cmd, f_arrs, post_arrs, parent_span
+            )
+            conn.send((per_rank, transfers, spans))
     except (EOFError, KeyboardInterrupt):
         pass
     finally:
@@ -426,14 +450,17 @@ class ProcessExecutor:
             self, _shutdown_workers, self._procs, self._conns
         )
 
-    def run_phase(self, phase: str) -> PhaseResult:
+    def run_phase(self, phase: str,
+                  parent_span: int | None = None) -> PhaseResult:
+        msg = phase if parent_span is None else (phase, parent_span)
         for conn in self._conns:
-            conn.send(phase)
+            conn.send(msg)
         result = PhaseResult()
         for conn in self._conns:  # reply collection is the phase barrier
-            per_rank, transfers = conn.recv()
+            per_rank, transfers, spans = conn.recv()
             result.seconds_by_rank.update(per_rank)
             result.transfers.extend(transfers)
+            result.spans.extend(spans)
         return result
 
     def close(self) -> None:

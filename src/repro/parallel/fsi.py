@@ -306,7 +306,15 @@ def _fsi_worker_main(conn, kernel_name, mode, grid_shape, origin,
     crosses the pipe (it lives in the shared segments).  ``kernels`` is
     the parent's resolved kernels-backend name (the child re-resolves it
     so a numba-less child falls back to NumPy instead of dying).
+
+    Stage replies travel as ``(payload, t0, t1)`` with the interval
+    stamped on ``time.perf_counter`` — system-wide ``CLOCK_MONOTONIC``
+    on Linux — so the parent can fold per-worker seconds into the
+    rank-balance rollup and, under tracing, merge the intervals into
+    the driver's span timeline.
     """
+    from time import perf_counter
+
     worker = FSIWorker(kernel_name, mode, grid_shape, origin, spacing,
                        kernels=kernels)
     segments: dict[str, shared_memory.SharedMemory] = {}
@@ -334,28 +342,30 @@ def _fsi_worker_main(conn, kernel_name, mode, grid_shape, origin,
                 )
                 worker.set_population(specs, tasks, m_range, n_range)
                 conn.send("ok")
-            elif cmd == "forces":
+                continue
+            t0 = perf_counter()
+            if cmd == "forces":
                 worker.membrane_forces(arrays["verts"], arrays["io"])
-                conn.send("ok")
+                payload = "ok"
             elif cmd == "stencil":
-                n_clipped = worker.build_stencil(
+                payload = worker.build_stencil(
                     arrays["verts"], arrays["flat"]
                 )
-                conn.send(n_clipped)
             elif cmd == "contrib":
                 worker.spread_contrib(arrays["io"], arrays["contrib"])
-                conn.send("ok")
+                payload = "ok"
             elif cmd == "scatter":
                 worker.spread_scatter(
                     arrays["flat"], arrays["contrib"],
                     arrays["field"].reshape(3, -1),
                 )
-                conn.send("ok")
+                payload = "ok"
             elif cmd == "interp":
                 worker.interpolate(arrays["field"], arrays["io"])
-                conn.send("ok")
+                payload = "ok"
             else:
                 raise ValueError(f"unknown FSI worker command {cmd!r}")
+            conn.send((payload, t0, perf_counter()))
     except (EOFError, KeyboardInterrupt):
         pass
     finally:
@@ -363,6 +373,15 @@ def _fsi_worker_main(conn, kernel_name, mode, grid_shape, origin,
         for shm in segments.values():
             shm.close()
         conn.close()
+
+
+def _timed_call(fn, args) -> tuple:
+    """Run ``fn(*args)`` stamping its wall interval (in-process paths)."""
+    from time import perf_counter
+
+    t0 = perf_counter()
+    reply = fn(*args)
+    return reply, t0, perf_counter()
 
 
 def _finalize_runtime(procs, conns, segments) -> None:
@@ -587,24 +606,62 @@ class ParallelFSIRuntime:
                                           self.grid_shape)
 
     # -- stage dispatch ------------------------------------------------
-    def _run(self, stage: str, *args) -> list:
+    def _run(self, stage: str, *args, label: str | None = None) -> list:
         """Run one stage on every worker; returns per-worker replies.
 
         Collecting every reply before returning is the barrier between
         stages (the scatter must not start until all contribs landed).
+
+        When a live telemetry backend is installed and ``label`` is set,
+        each worker's wall interval is folded into the per-rank balance
+        accounting under ``fsi/<label>``, and — under tracing — merged
+        into the driver timeline as a child span of the enclosing phase.
+        The :class:`~repro.telemetry.backend.NullTelemetry` path takes
+        none of these branches, so the hot path is unchanged when
+        observability is off.
         """
+        tel = get_telemetry()
+        record = tel.enabled and label is not None
         if self.backend == "processes":
             for conn in self._conns:
                 conn.send((stage,) if not args else (stage, *args))
-            return [conn.recv() for conn in self._conns]
-        method_args = args
+            raw = [conn.recv() for conn in self._conns]
+            if record:
+                self._record_stage(tel, label, raw)
+            return [reply for reply, _, _ in raw]
         if self.backend == "threads" and len(self._workers) > 1:
+            if record:
+                futures = [
+                    self._pool.submit(_timed_call, getattr(w, stage), args)
+                    for w in self._workers
+                ]
+                raw = [f.result() for f in futures]
+                self._record_stage(tel, label, raw)
+                return [reply for reply, _, _ in raw]
             futures = [
-                self._pool.submit(getattr(w, stage), *method_args)
+                self._pool.submit(getattr(w, stage), *args)
                 for w in self._workers
             ]
             return [f.result() for f in futures]
-        return [getattr(w, stage)(*method_args) for w in self._workers]
+        if record:
+            raw = [
+                _timed_call(getattr(w, stage), args) for w in self._workers
+            ]
+            self._record_stage(tel, label, raw)
+            return [reply for reply, _, _ in raw]
+        return [getattr(w, stage)(*args) for w in self._workers]
+
+    def _record_stage(self, tel, label: str, raw: list[tuple]) -> None:
+        """Fold ``(reply, t0, t1)`` worker intervals into telemetry."""
+        tel.record_rank_seconds(
+            f"fsi/{label}", {w: t1 - t0 for w, (_, t0, t1) in enumerate(raw)}
+        )
+        tracer = tel.tracer
+        if tracer is not None:
+            parent = tracer.current_id
+            for w, (_, t0, t1) in enumerate(raw):
+                tracer.add(label, t0, t1, parent_id=parent, rank=w,
+                           category="worker")
 
     # -- step operations -----------------------------------------------
     def total_forces(self, manager):
@@ -621,10 +678,10 @@ class ParallelFSIRuntime:
         with tel.phase("fsi/forces"):
             if self.backend == "processes":
                 np.copyto(self._shm_arrays["verts"], verts)
-                self._run("forces")
+                self._run("forces", label="forces")
                 np.copyto(forces, self._shm_arrays["io"])
             else:
-                self._run("membrane_forces", verts, forces)
+                self._run("membrane_forces", verts, forces, label="forces")
         forces += contact_forces(
             verts, ordinals, manager.contact_cutoff,
             manager.contact_stiffness,
@@ -637,9 +694,10 @@ class ParallelFSIRuntime:
         with tel.phase("fsi/stencil"):
             if self.backend == "processes":
                 np.copyto(self._shm_arrays["verts"], verts)
-                replies = self._run("stencil")
+                replies = self._run("stencil", label="stencil")
             else:
-                replies = self._run("build_stencil", verts, self._flat_buf)
+                replies = self._run("build_stencil", verts, self._flat_buf,
+                                    label="stencil")
         n_clipped = int(sum(replies))
         if self.mode == "clip" and n_clipped:
             self._record_clipped(n_clipped)
@@ -657,15 +715,17 @@ class ParallelFSIRuntime:
         with tel.phase("fsi/spread"):
             if self.backend == "processes":
                 np.copyto(self._shm_arrays["io"], forces_lat)
-                self._run("contrib")
+                self._run("contrib", label="spread_contrib")
                 field = self._shm_arrays["field"]
                 field.fill(0.0)
-                self._run("scatter")
+                self._run("scatter", label="spread_scatter")
                 out_field += field
             else:
-                self._run("spread_contrib", forces_lat, self._contrib_buf)
+                self._run("spread_contrib", forces_lat, self._contrib_buf,
+                          label="spread_contrib")
                 self._run("spread_scatter", self._flat_buf,
-                          self._contrib_buf, out_field.reshape(3, -1))
+                          self._contrib_buf, out_field.reshape(3, -1),
+                          label="spread_scatter")
 
     def interpolate(self, field: np.ndarray) -> np.ndarray:
         """Interpolate ``field`` at the markers of the cached stencil."""
@@ -675,10 +735,10 @@ class ParallelFSIRuntime:
         with tel.phase("fsi/interp"):
             if self.backend == "processes":
                 np.copyto(self._shm_arrays["field"], field)
-                self._run("interp")
+                self._run("interp", label="interp")
                 return self._shm_arrays["io"][:self._n_markers].copy()
             out = np.empty((self._n_markers, 3), dtype=np.float64)
-            self._run("interpolate", field, out)
+            self._run("interpolate", field, out, label="interp")
             return out
 
     def _record_clipped(self, n_clipped: int) -> None:

@@ -20,6 +20,7 @@ from .manifest import (
 from .registry import EXPERIMENTS, resolve
 from .report import build_report, render_report, write_report
 from .scheduler import CampaignRunner, run_campaign
+from .status import campaign_status, fetch_live_status, render_status
 from .worker import derive_seed, job_dir, run_job
 
 __all__ = [
@@ -31,13 +32,16 @@ __all__ = [
     "JobSpec",
     "Ledger",
     "build_report",
+    "campaign_status",
     "derive_seed",
+    "fetch_live_status",
     "job_dir",
     "job_states",
     "load_manifest",
     "manifest_from_dict",
     "read_ledger",
     "render_report",
+    "render_status",
     "resolve",
     "run_campaign",
     "run_job",

@@ -16,7 +16,7 @@ import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from ..telemetry.events import EventSink, read_events
+from ..telemetry.events import EventSink, heal_truncated_tail, read_events
 
 #: Terminal job statuses; anything else means work remains.
 TERMINAL = ("completed", "failed")
@@ -27,29 +27,10 @@ class Ledger:
 
     def __init__(self, path: str | Path):
         self.path = Path(path)
-        self._heal_truncated_tail()
+        # The sink heals again at first append; healing eagerly here too
+        # keeps read-before-write flows (resume, status) clean.
+        heal_truncated_tail(self.path)
         self._sink = EventSink(self.path)
-
-    def _heal_truncated_tail(self) -> None:
-        """Drop a partial final line left by a killed writer.
-
-        Appending after a torn line would otherwise weld two records into
-        one corrupt *mid-file* line, which readers rightly refuse.
-        """
-        try:
-            size = self.path.stat().st_size
-        except OSError:
-            return
-        if size == 0:
-            return
-        with open(self.path, "rb+") as fh:
-            fh.seek(-1, os.SEEK_END)
-            if fh.read(1) == b"\n":
-                return
-            # walk back to the last newline and truncate after it
-            data = self.path.read_bytes()
-            cut = data.rfind(b"\n") + 1
-            fh.truncate(cut)
 
     def append(self, event: str, **fields) -> dict:
         record = {"ts": time.time(), "event": event, **fields}

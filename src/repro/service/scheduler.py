@@ -37,6 +37,7 @@ from .ledger import Ledger
 from .manifest import CampaignManifest, JobSpec
 from .report import build_report, write_report
 from .worker import (
+    CHECKPOINT_FILENAME,
     LEDGER_FILENAME,
     MANIFEST_FILENAME,
     RESULT_FILENAME,
@@ -71,12 +72,26 @@ class CampaignRunner:
         manifest: CampaignManifest,
         out_dir: str | Path,
         poll_interval: float = 0.05,
+        serve_port: int | None = None,
+        serve_interval: float = 0.25,
     ):
         manifest.validate()
         self.manifest = manifest
         self.out_dir = Path(out_dir)
         self.poll_interval = float(poll_interval)
         self.ledger_path = self.out_dir / LEDGER_FILENAME
+        #: When set, the run serves live /status + /metrics on this port
+        #: (0 = ephemeral); ``serve_url`` is filled in once bound.
+        self.serve_port = serve_port
+        self.serve_interval = float(serve_interval)
+        self.serve_url: str | None = None
+        # Live scheduler state the status snapshotter reads from its own
+        # thread: per-job state strings plus the campaign start stamp.
+        # Plain dict/float writes are atomic under the GIL, so the
+        # scheduling loop never takes a lock for observability.
+        self._job_states: dict[str, str] = {}
+        self._t_start: float | None = None
+        self._finished = False
 
     # -- setup ---------------------------------------------------------
     def prepare(self) -> None:
@@ -86,6 +101,54 @@ class CampaignRunner:
 
     def _completed(self, job_id: str) -> bool:
         return (job_dir(self.out_dir, job_id) / RESULT_FILENAME).exists()
+
+    # -- live status ---------------------------------------------------
+    def _status_payload(self) -> dict:
+        """Scheduler-level rollup served as the campaign's ``/status``.
+
+        Called from the snapshotter sidecar thread; reads only
+        GIL-consistent in-memory state plus cheap per-job file stats
+        (checkpoint mtimes, completed results).
+        """
+        states = dict(self._job_states)
+        counts = {
+            key: sum(1 for v in states.values() if v == key)
+            for key in ("pending", "running", "waiting",
+                        "completed", "failed")
+        }
+        counts["jobs"] = len(states)
+        now = time.monotonic()
+        uptime = 0.0 if self._t_start is None else now - self._t_start
+        checkpoint_age = None
+        steps_resumed = 0
+        for job_id, state in states.items():
+            jdir = job_dir(self.out_dir, job_id)
+            try:
+                age = time.time() - (jdir / CHECKPOINT_FILENAME).stat().st_mtime
+            except OSError:
+                age = None
+            if age is not None and (checkpoint_age is None
+                                    or age < checkpoint_age):
+                checkpoint_age = age
+            if state == "completed":
+                try:
+                    steps_resumed += int(
+                        read_json(jdir / RESULT_FILENAME).get("start_step", 0)
+                    )
+                except (OSError, ValueError):
+                    pass
+        return {
+            "state": "done" if self._finished else "running",
+            "uptime_s": uptime,
+            "campaign": {
+                "name": self.manifest.name,
+                "max_parallel": self.manifest.max_parallel,
+                **counts,
+            },
+            "jobs": states,
+            "checkpoint_age_s": checkpoint_age,
+            "steps_resumed": steps_resumed,
+        }
 
     # -- main loop -----------------------------------------------------
     def run(self, resume: bool = False) -> dict:
@@ -99,13 +162,17 @@ class CampaignRunner:
             max_parallel=self.manifest.max_parallel,
         )
         t_start = time.monotonic()
+        self._t_start = t_start
+        self._finished = False
 
         ready: list[JobSpec] = []
         for order, spec in enumerate(self.manifest.jobs):
             if resume and self._completed(spec.job_id):
                 ledger.append("skipped_completed", job=spec.job_id)
+                self._job_states[spec.job_id] = "completed"
                 continue
             ready.append(spec)
+            self._job_states[spec.job_id] = "pending"
             ledger.append(
                 "submitted",
                 job=spec.job_id,
@@ -125,6 +192,22 @@ class CampaignRunner:
         failed: list[str] = []
         completed: list[str] = []
 
+        serve = None
+        if self.serve_port is not None:
+            from ..telemetry.server import serve_status
+
+            serve = serve_status(
+                self._status_payload,
+                self.out_dir,
+                port=self.serve_port,
+                events_path=self.ledger_path,
+                interval=self.serve_interval,
+                kind="campaign",
+                name=self.manifest.name,
+            )
+            self.serve_url = serve.url
+            ledger.append("serving", url=serve.url, port=serve.port)
+
         try:
             while ready or waiting or running:
                 now = time.monotonic()
@@ -139,6 +222,7 @@ class CampaignRunner:
                     running.append(
                         self._launch(ledger, spec, attempts_done)
                     )
+                    self._job_states[spec.job_id] = "running"
                 still: list[_Attempt] = []
                 for att in running:
                     outcome = self._poll(ledger, att)
@@ -146,6 +230,7 @@ class CampaignRunner:
                         still.append(att)
                     elif outcome == "completed":
                         completed.append(att.spec.job_id)
+                        self._job_states[att.spec.job_id] = "completed"
                     else:  # crashed / timeout -> retry or fail
                         n = attempts_done[att.spec.job_id]
                         if n < att.spec.max_attempts:
@@ -163,6 +248,7 @@ class CampaignRunner:
                             waiting.append(
                                 (time.monotonic() + delay, att.spec)
                             )
+                            self._job_states[att.spec.job_id] = "waiting"
                         else:
                             ledger.append(
                                 "failed",
@@ -171,6 +257,7 @@ class CampaignRunner:
                                 error=att.error,
                             )
                             failed.append(att.spec.job_id)
+                            self._job_states[att.spec.job_id] = "failed"
                 running = still
                 if running or waiting:
                     time.sleep(self.poll_interval)
@@ -183,6 +270,11 @@ class CampaignRunner:
                 failed=len(failed),
             )
         finally:
+            self._finished = True
+            if serve is not None:
+                # Final snapshot flips state to "done"; the discovery
+                # file is removed so status falls back to artifacts.
+                serve.close()
             ledger.close()
         report = build_report(self.out_dir)
         write_report(self.out_dir, report)
@@ -336,7 +428,11 @@ class CampaignRunner:
 
 
 def run_campaign(
-    manifest: CampaignManifest, out_dir: str | Path, resume: bool = False
+    manifest: CampaignManifest,
+    out_dir: str | Path,
+    resume: bool = False,
+    serve_port: int | None = None,
 ) -> dict:
     """Convenience wrapper: schedule ``manifest`` into ``out_dir``."""
-    return CampaignRunner(manifest, out_dir).run(resume=resume)
+    runner = CampaignRunner(manifest, out_dir, serve_port=serve_port)
+    return runner.run(resume=resume)

@@ -1,0 +1,111 @@
+"""Live campaign status: query the run's HTTP endpoint, else artifacts.
+
+``repro campaign status DIR`` should answer "what is happening right
+now" when the campaign is still running and "what happened" after it
+finished — without the caller having to know which is true.  The
+resolution order:
+
+1. a ``server.json`` discovery file in DIR points at a live
+   :class:`~repro.telemetry.server.TelemetryServer`; ``GET /status``
+   there is the freshest possible answer;
+2. a stale/absent endpoint (server gone, file left by a SIGKILL) falls
+   back to the last atomic ``status.json`` snapshot when present;
+3. otherwise the offline ledger/result aggregate
+   (:func:`repro.service.report.build_report`).
+
+Everything is stdlib (:mod:`urllib.request`) and fails soft: network
+errors never raise out of :func:`campaign_status`.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+from ..telemetry.server import read_endpoint_file
+
+#: Liveness probes should fail fast; the server is on localhost.
+DEFAULT_TIMEOUT_S = 2.0
+
+
+def fetch_live_status(
+    dir_: str | Path, timeout: float = DEFAULT_TIMEOUT_S
+) -> dict | None:
+    """``GET /status`` from the directory's live endpoint, else None.
+
+    None means "no live server answered" — missing discovery file,
+    connection refused (stale file), timeout, or malformed response.
+    """
+    endpoint = read_endpoint_file(dir_)
+    if endpoint is None or "url" not in endpoint:
+        return None
+    try:
+        with urllib.request.urlopen(
+            endpoint["url"].rstrip("/") + "/status", timeout=timeout
+        ) as resp:
+            return json.loads(resp.read().decode("utf-8"))
+    except (urllib.error.URLError, OSError, ValueError):
+        return None
+
+
+def read_status_snapshot(dir_: str | Path) -> dict | None:
+    """The last atomic ``status.json`` snapshot, if one was written."""
+    try:
+        with open(Path(dir_) / "status.json", encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, ValueError):
+        return None
+
+
+def campaign_status(
+    dir_: str | Path, timeout: float = DEFAULT_TIMEOUT_S
+) -> dict:
+    """One status answer for a campaign directory, live when possible.
+
+    Returns ``{"source": "live" | "snapshot" | "report", ...payload}``.
+    ``source`` records which rung of the fallback ladder answered, so
+    callers (and tests) can tell a live read from an artifact read.
+    """
+    live = fetch_live_status(dir_, timeout=timeout)
+    if live is not None:
+        return {"source": "live", **live}
+    snap = read_status_snapshot(dir_)
+    if snap is not None:
+        return {"source": "snapshot", **snap}
+    from .report import build_report
+
+    return {"source": "report", "report": build_report(dir_)}
+
+
+def render_status(status: dict) -> str:
+    """Human-readable rendering of a :func:`campaign_status` answer."""
+    source = status.get("source", "?")
+    if source == "report":
+        from .report import render_report
+
+        return render_report(status["report"])
+    camp = status.get("campaign", {})
+    lines = [
+        f"campaign {camp.get('name', '?')} [{status.get('state', '?')}, "
+        f"{source}]",
+        "  jobs: %d total | %d running | %d pending | %d waiting | "
+        "%d completed | %d failed" % tuple(
+            camp.get(k, 0) for k in (
+                "jobs", "running", "pending", "waiting",
+                "completed", "failed",
+            )
+        ),
+    ]
+    uptime = status.get("uptime_s")
+    if uptime is not None:
+        lines.append(f"  uptime: {uptime:.1f}s")
+    age = status.get("checkpoint_age_s")
+    if age is not None:
+        lines.append(f"  newest checkpoint: {age:.1f}s old")
+    jobs = status.get("jobs", {})
+    active = [j for j, s in sorted(jobs.items()) if s == "running"]
+    if active:
+        lines.append("  running: " + ", ".join(active))
+    return "\n".join(lines)

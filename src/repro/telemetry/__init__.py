@@ -34,10 +34,39 @@ from .backend import (
     get_telemetry,
     set_telemetry,
 )
-from .events import EventSink, read_events
-from .metrics import Counter, Gauge, MetricRegistry
-from .report import phase_coverage, render_summary, summarize, write_summary
+from .events import EventSink, heal_truncated_tail, read_events, tail_events
+from .metrics import (
+    Counter,
+    Gauge,
+    MetricRegistry,
+    prometheus_text,
+    sanitize_metric_name,
+)
+from .report import (
+    phase_coverage,
+    rank_balance,
+    render_summary,
+    summarize,
+    write_summary,
+)
+from .server import (
+    ServeHandle,
+    StatusSnapshotter,
+    TelemetryServer,
+    build_status,
+    metrics_text,
+    read_endpoint_file,
+    serve_status,
+    write_endpoint_file,
+)
 from .timers import PhaseRecorder, PhaseStat, Timer
+from .tracing import (
+    Span,
+    SpanRecorder,
+    read_chrome_trace,
+    to_chrome_trace,
+    write_chrome_trace,
+)
 
 __all__ = [
     "NULL",
@@ -47,15 +76,33 @@ __all__ = [
     "get_telemetry",
     "set_telemetry",
     "EventSink",
+    "heal_truncated_tail",
     "read_events",
+    "tail_events",
     "Counter",
     "Gauge",
     "MetricRegistry",
+    "prometheus_text",
+    "sanitize_metric_name",
     "phase_coverage",
+    "rank_balance",
     "render_summary",
     "summarize",
     "write_summary",
+    "ServeHandle",
+    "StatusSnapshotter",
+    "TelemetryServer",
+    "build_status",
+    "metrics_text",
+    "read_endpoint_file",
+    "serve_status",
+    "write_endpoint_file",
     "PhaseRecorder",
     "PhaseStat",
     "Timer",
+    "Span",
+    "SpanRecorder",
+    "read_chrome_trace",
+    "to_chrome_trace",
+    "write_chrome_trace",
 ]

@@ -26,6 +26,36 @@ from .events import EventSink
 from .metrics import NULL_COUNTER, NULL_GAUGE, Counter, Gauge, MetricRegistry
 from .report import render_summary, summarize, write_summary
 from .timers import NULL_PHASE, PhaseRecorder, _NullPhase, _PhaseContext
+from .tracing import SpanRecorder, write_chrome_trace
+
+
+class _TracedPhase:
+    """Phase context that also records a span on the active tracer.
+
+    The span is named by the *full* slash-joined phase path (computed at
+    entry, when the recorder stack already holds the enclosing phases),
+    so trace names match the summary's phase paths exactly.
+    """
+
+    __slots__ = ("_phase", "_span", "_tel", "_name")
+
+    def __init__(self, tel: "Telemetry", name: str):
+        self._tel = tel
+        self._name = name
+        self._phase = tel.recorder.phase(name)
+        self._span = None
+
+    def __enter__(self) -> "_TracedPhase":
+        self._phase.__enter__()
+        path = self._tel.recorder.current_path
+        self._span = self._tel.tracer.span(path)
+        self._span.__enter__()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self._span.__exit__(*exc)
+        self._phase.__exit__(*exc)
+        return False
 
 
 class Telemetry:
@@ -42,6 +72,10 @@ class Telemetry:
     meta:
         Free-form key/values recorded in the summary's ``meta`` block
         (experiment name, configuration, ...).
+    trace:
+        Record per-occurrence :class:`~repro.telemetry.tracing.Span`
+        timelines (including merged worker spans) in addition to the
+        aggregated phase stats; export with :meth:`write_trace`.
     """
 
     enabled = True
@@ -51,23 +85,41 @@ class Telemetry:
         out_dir: str | Path | None = None,
         clock=time.perf_counter,
         meta: dict | None = None,
+        trace: bool = False,
     ):
         self.out_dir = Path(out_dir) if out_dir is not None else None
         self._clock = clock
         self._t_start = clock()
         self.recorder = PhaseRecorder(clock)
         self.metrics = MetricRegistry()
+        self.tracer: SpanRecorder | None = (
+            SpanRecorder(clock) if trace else None
+        )
         self.meta = dict(meta or {})
         self.n_events = 0
+        #: Cumulative per-rank wall seconds by phase path, fed by the
+        #: parallel runtimes (``record_rank_seconds``); the summary's
+        #: rank-balance rollup derives from this.
+        self.rank_seconds: dict[str, dict[int, float]] = {}
         self._sink: EventSink | None = None
         self._memory_events: list[dict] = []
         if self.out_dir is not None:
             self._sink = EventSink(self.out_dir / "events.jsonl")
 
     # -- timing --------------------------------------------------------
-    def phase(self, name: str) -> _PhaseContext:
+    def phase(self, name: str) -> _PhaseContext | _TracedPhase:
         """Context manager timing a (possibly nested) named phase."""
+        if self.tracer is not None:
+            return _TracedPhase(self, name)
         return self.recorder.phase(name)
+
+    def record_rank_seconds(
+        self, phase: str, seconds_by_rank: dict[int, float]
+    ) -> None:
+        """Accumulate per-rank wall seconds for one barriered phase."""
+        acc = self.rank_seconds.setdefault(phase, {})
+        for rank, dt in seconds_by_rank.items():
+            acc[rank] = acc.get(rank, 0.0) + dt
 
     def uptime(self) -> float:
         """Seconds on the monotonic clock since this backend was created."""
@@ -114,6 +166,16 @@ class Telemetry:
     def render_summary(self) -> str:
         return render_summary(self.summary())
 
+    def write_trace(self, path: str | Path | None = None) -> Path:
+        """Export the recorded spans as Chrome-trace/Perfetto JSON."""
+        if self.tracer is None:
+            raise ValueError("tracing is off; construct Telemetry(trace=True)")
+        if path is None:
+            if self.out_dir is None:
+                raise ValueError("no out_dir configured; pass an explicit path")
+            path = self.out_dir / "trace.json"
+        return write_chrome_trace(self.tracer.spans, path, meta=self.meta)
+
     def flush(self) -> None:
         if self._sink is not None:
             self._sink.flush()
@@ -137,9 +199,14 @@ class NullTelemetry:
     meta: dict = {}
     n_events = 0
     out_dir = None
+    tracer = None
+    rank_seconds: dict = {}
 
     def phase(self, name: str) -> _NullPhase:
         return NULL_PHASE
+
+    def record_rank_seconds(self, phase: str, seconds_by_rank) -> None:
+        pass
 
     def uptime(self) -> float:
         return 0.0
@@ -167,6 +234,9 @@ class NullTelemetry:
         return {}
 
     def write_summary(self, path=None) -> None:
+        return None
+
+    def write_trace(self, path=None) -> None:
         return None
 
     def render_summary(self) -> str:

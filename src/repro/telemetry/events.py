@@ -9,6 +9,8 @@ arrays are serialized transparently.
 from __future__ import annotations
 
 import json
+import os
+import threading
 from pathlib import Path
 
 import numpy as np
@@ -23,6 +25,30 @@ def _jsonable(obj):
     return str(obj)
 
 
+def heal_truncated_tail(path: str | Path) -> None:
+    """Drop a partial final line left by a killed writer.
+
+    Appending after a torn line would otherwise weld two records into
+    one corrupt *mid-file* line, which readers rightly refuse.  A file
+    that doesn't exist, is empty, or ends in a newline is left alone.
+    """
+    path = Path(path)
+    try:
+        size = path.stat().st_size
+    except OSError:
+        return
+    if size == 0:
+        return
+    with open(path, "rb+") as fh:
+        fh.seek(-1, os.SEEK_END)
+        if fh.read(1) == b"\n":
+            return
+        # walk back to the last newline and truncate after it
+        data = path.read_bytes()
+        cut = data.rfind(b"\n") + 1
+        fh.truncate(cut)
+
+
 class EventSink:
     """Line-flushed JSONL writer; the file is created on the first event.
 
@@ -30,27 +56,40 @@ class EventSink:
     immediately, so a SIGKILLed job loses at most the event being
     serialized when the signal landed — never previously emitted lines —
     and ``tail -f`` followers see events as they happen.
+
+    Writes are thread-safe: serialization happens outside the lock, but
+    open-on-first-event, the write and the flush hold it, so concurrent
+    emitters (an inline campaign's sibling jobs, a snapshot thread next
+    to the driver) can never interleave partial lines.  Opening heals a
+    torn tail first — the same discipline the service ledger applies —
+    so appending to a killed run's stream stays safe.
     """
 
     def __init__(self, path: str | Path):
         self.path = Path(path)
         self._fh = None
+        self._lock = threading.Lock()
 
     def emit(self, record: dict) -> None:
-        if self._fh is None:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            self._fh = open(self.path, "a", encoding="utf-8")
-        self._fh.write(json.dumps(record, default=_jsonable) + "\n")
-        self._fh.flush()
-
-    def flush(self) -> None:
-        if self._fh is not None:
+        line = json.dumps(record, default=_jsonable) + "\n"
+        with self._lock:
+            if self._fh is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                heal_truncated_tail(self.path)
+                self._fh = open(self.path, "a", encoding="utf-8")
+            self._fh.write(line)
             self._fh.flush()
 
+    def flush(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.flush()
+
     def close(self) -> None:
-        if self._fh is not None:
-            self._fh.close()
-            self._fh = None
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
 
 
 def read_events(path: str | Path) -> list[dict]:
@@ -75,3 +114,32 @@ def read_events(path: str | Path) -> list[dict]:
                 f"{path}:{lineno + 1}: corrupt JSONL line in mid-file"
             ) from None
     return out
+
+
+def tail_events(
+    path: str | Path, n: int = 50, max_bytes: int = 262144
+) -> list[dict]:
+    """Last ``n`` events of a JSONL stream, reading at most ``max_bytes``.
+
+    Built for the live ``/events/tail`` endpoint: bounded I/O regardless
+    of stream length, tolerant of both a torn final line (in-flight
+    write) and a torn *first* line (the seek landed mid-record).
+    """
+    path = Path(path)
+    try:
+        size = path.stat().st_size
+        with open(path, "rb") as fh:
+            fh.seek(max(0, size - max_bytes))
+            data = fh.read().decode("utf-8", errors="replace")
+    except OSError:
+        return []
+    out: list[dict] = []
+    for line in data.splitlines()[-n - 1:]:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            out.append(json.loads(line))
+        except json.JSONDecodeError:
+            continue  # torn first/last line of the window
+    return out[-n:]

@@ -45,21 +45,53 @@ def phase_coverage(phases: dict[str, dict]) -> dict[str, float]:
     return cov
 
 
+def rank_balance(rank_seconds: dict[str, dict[int, float]]) -> dict:
+    """Per-phase ``max/mean`` load-imbalance rollup from per-rank seconds.
+
+    ``imbalance`` is the max-to-mean ratio of cumulative per-rank wall
+    time inside one barriered phase: 1.0 is perfect balance, and the
+    excess over 1.0 is the fraction of the phase the busiest rank spends
+    while its siblings idle at the barrier — the quantity the paper's
+    load-balance discussion (and Fig. 7's strong-scaling rolloff) turns
+    on.
+    """
+    out: dict[str, dict] = {}
+    for phase, per_rank in sorted(rank_seconds.items()):
+        if not per_rank:
+            continue
+        vals = list(per_rank.values())
+        mean = sum(vals) / len(vals)
+        mx = max(vals)
+        out[phase] = {
+            "n_ranks": len(vals),
+            "max_s": mx,
+            "mean_s": mean,
+            "imbalance": mx / mean if mean > 0 else 1.0,
+        }
+    return out
+
+
 def summarize(telemetry) -> dict:
     """Build the aggregated summary dict for a live Telemetry backend."""
     phases = telemetry.recorder.as_dict()
     metrics = telemetry.metrics.as_dict()
-    return {
-        "meta": {
-            "wall_s": telemetry.uptime(),
-            "n_events": telemetry.n_events,
-            **telemetry.meta,
-        },
+    meta = {
+        "wall_s": telemetry.uptime(),
+        "n_events": telemetry.n_events,
+        **telemetry.meta,
+    }
+    if telemetry.tracer is not None:
+        meta["n_spans"] = len(telemetry.tracer)
+    summary = {
+        "meta": meta,
         "phases": phases,
         "phase_coverage": phase_coverage(phases),
         "counters": metrics["counters"],
         "gauges": metrics["gauges"],
     }
+    if telemetry.rank_seconds:
+        summary["rank_balance"] = rank_balance(telemetry.rank_seconds)
+    return summary
 
 
 def write_summary(summary: dict, path: str | Path) -> Path:
@@ -110,6 +142,20 @@ def render_summary(summary: dict) -> str:
                 f"  {name:<36} {_fmt_seconds(st['total_s']):>10} "
                 f"{st['count']:>7d} {_fmt_seconds(st['mean_s']):>10} "
                 f"{_fmt_seconds(st['max_s']):>10}  {cov_s}"
+            )
+    balance = summary.get("rank_balance", {})
+    if balance:
+        lines.append("")
+        lines.append("  rank balance (max/mean per barriered phase):")
+        lines.append(
+            f"    {'phase':<34} {'ranks':>5} {'max':>10} {'mean':>10}  imbal"
+        )
+        for phase in sorted(balance):
+            b = balance[phase]
+            lines.append(
+                f"    {phase:<34} {b['n_ranks']:>5d} "
+                f"{_fmt_seconds(b['max_s']):>10} "
+                f"{_fmt_seconds(b['mean_s']):>10}  {b['imbalance']:.2f}x"
             )
     counters = summary.get("counters", {})
     if counters:

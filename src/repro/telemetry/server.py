@@ -1,0 +1,398 @@
+"""Live observability plane: atomic status snapshots + HTTP endpoint.
+
+Long APR campaigns need to be watchable *while they run*, without the
+simulation hot path ever blocking on a socket.  The design splits the
+two concerns:
+
+* a :class:`StatusSnapshotter` thread periodically folds the live state
+  (a telemetry summary, a campaign rollup, ...) into one JSON document
+  and writes it atomically (temp + ``os.replace``) to a snapshot file;
+* a :class:`TelemetryServer` — zero-dependency stdlib
+  :mod:`http.server` — serves that *file*:
+
+  - ``GET /status``       the snapshot JSON verbatim;
+  - ``GET /metrics``      Prometheus text exposition of the snapshot's
+    counters/gauges plus derived series (step rate, per-phase rank
+    imbalance, halo-bytes rate);
+  - ``GET /events/tail``  last N events of the run's JSONL stream
+    (``?n=100`` to change the window).
+
+The simulation thread never talks to the server; the snapshot thread
+reads in-memory telemetry state (cheap, GIL-consistent) on its own
+cadence, and HTTP requests only ever touch complete snapshot files.  A
+SIGKILL at any byte leaves either the previous snapshot or the new one.
+
+Discovery: :func:`write_endpoint_file` drops a small ``server.json``
+next to the run's artifacts so ``repro campaign status`` (and humans)
+can find the live endpoint; it is removed on clean shutdown.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from urllib.parse import parse_qs, urlparse
+
+from .events import tail_events
+from .metrics import prometheus_text, sanitize_metric_name
+from .report import write_summary as _atomic_write_json
+
+#: Discovery file dropped next to a served run's artifacts.
+ENDPOINT_FILENAME = "server.json"
+
+#: Default snapshot cadence (seconds); fast enough to feel live, slow
+#: enough to be invisible next to a single coarse step.
+DEFAULT_INTERVAL_S = 1.0
+
+
+# ----------------------------------------------------------------------
+# Status payload construction
+
+
+def build_status(telemetry, extra: dict | None = None) -> dict:
+    """Fold a live Telemetry backend into one ``/status`` payload.
+
+    Reads only in-memory state (phase stats, metrics, the recorder's
+    current stack), so it is safe to call from a sidecar thread while
+    the simulation steps.  ``step_rate_per_s`` derives from the ``step``
+    phase count when present, else from a ``steps`` counter.
+    """
+    summary = telemetry.summary()
+    uptime = telemetry.uptime()
+    phases = summary.get("phases", {})
+    steps = None
+    if "step" in phases:
+        steps = int(phases["step"]["count"])
+    elif "steps" in summary.get("counters", {}):
+        steps = int(summary["counters"]["steps"]["value"])
+    status = {
+        "state": "running",
+        "uptime_s": uptime,
+        "current_phase": telemetry.recorder.current_path,
+        "steps_done": steps,
+        "step_rate_per_s": (
+            steps / uptime if steps is not None and uptime > 0 else None
+        ),
+        "summary": summary,
+    }
+    if extra:
+        status.update(extra)
+    return status
+
+
+def derived_metrics_text(status: dict) -> str:
+    """Prometheus lines for series *derived* from a status snapshot.
+
+    Covers what raw counters/gauges can't express directly: the step
+    rate, the per-phase ``max/mean`` rank imbalance (labelled by phase
+    path), and the halo-communication byte/message rates.
+    """
+    lines: list[str] = []
+    rate = status.get("step_rate_per_s")
+    if rate is not None:
+        lines.append("# TYPE repro_step_rate_per_s gauge")
+        lines.append(f"repro_step_rate_per_s {rate}")
+    uptime = status.get("uptime_s") or 0.0
+    summary = status.get("summary", {})
+    counters = summary.get("counters", {})
+    if uptime > 0:
+        for raw, metric in (
+            ("comm.bytes_sent", "repro_halo_bytes_per_s"),
+            ("comm.messages", "repro_halo_messages_per_s"),
+        ):
+            if raw in counters:
+                lines.append(f"# TYPE {metric} gauge")
+                lines.append(
+                    f"{metric} {counters[raw]['value'] / uptime}"
+                )
+    balance = summary.get("rank_balance", {})
+    if balance:
+        lines.append("# TYPE repro_phase_rank_imbalance gauge")
+        for phase in sorted(balance):
+            lines.append(
+                'repro_phase_rank_imbalance{phase="%s"} %s'
+                % (phase, balance[phase]["imbalance"])
+            )
+        lines.append("# TYPE repro_phase_rank_max_seconds gauge")
+        for phase in sorted(balance):
+            lines.append(
+                'repro_phase_rank_max_seconds{phase="%s"} %s'
+                % (phase, balance[phase]["max_s"])
+            )
+    for key in ("jobs", "completed", "failed", "running", "pending"):
+        if key in status.get("campaign", {}):
+            metric = sanitize_metric_name(f"campaign.jobs_{key}")
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {status['campaign'][key]}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def metrics_text(status: dict) -> str:
+    """Full ``/metrics`` body for one status snapshot."""
+    summary = status.get("summary", {})
+    return prometheus_text(
+        summary.get("counters", {}), summary.get("gauges", {})
+    ) + derived_metrics_text(status)
+
+
+# ----------------------------------------------------------------------
+# The snapshot sidecar
+
+
+class StatusSnapshotter:
+    """Daemon thread writing atomic periodic status snapshots.
+
+    ``provider`` is called on the sidecar thread every ``interval``
+    seconds; its dict lands in ``path`` via temp-file + ``os.replace``.
+    Provider exceptions skip that cycle rather than killing the thread
+    (the simulation matters more than one stale snapshot).
+    """
+
+    def __init__(
+        self,
+        provider,
+        path: str | Path,
+        interval: float = DEFAULT_INTERVAL_S,
+    ):
+        self.provider = provider
+        self.path = Path(path)
+        self.interval = float(interval)
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-status-snapshot", daemon=True
+        )
+
+    def write_once(self) -> bool:
+        """One provider call + atomic write; False if the provider threw."""
+        try:
+            payload = self.provider()
+        except Exception:
+            return False
+        _atomic_write_json(payload, self.path)
+        return True
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.write_once()
+
+    def start(self) -> "StatusSnapshotter":
+        self.write_once()  # a snapshot exists before the server answers
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop the loop and write one final (terminal) snapshot."""
+        self._stop.set()
+        if self._thread.is_alive():
+            self._thread.join(timeout=5.0)
+        self.write_once()
+
+
+# ----------------------------------------------------------------------
+# The HTTP endpoint
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Request handler bound to snapshot/events paths via class attrs."""
+
+    snapshot_path: Path
+    events_path: Path | None
+    server_version = "repro-telemetry/1"
+
+    def log_message(self, *args) -> None:  # silence per-request stderr
+        pass
+
+    def _send(self, code: int, body: bytes, content_type: str) -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, code: int, obj) -> None:
+        self._send(code, json.dumps(obj, indent=2).encode() + b"\n",
+                   "application/json")
+
+    def _load_snapshot(self) -> dict | None:
+        try:
+            with open(self.snapshot_path, encoding="utf-8") as fh:
+                return json.load(fh)
+        except (OSError, ValueError):
+            return None
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        url = urlparse(self.path)
+        route = url.path.rstrip("/") or "/"
+        if route == "/":
+            self._send_json(200, {
+                "endpoints": ["/status", "/metrics", "/events/tail"],
+            })
+            return
+        if route == "/status":
+            snap = self._load_snapshot()
+            if snap is None:
+                self._send_json(503, {"error": "no status snapshot yet"})
+                return
+            self._send_json(200, snap)
+            return
+        if route == "/metrics":
+            snap = self._load_snapshot()
+            if snap is None:
+                self._send(503, b"# no status snapshot yet\n",
+                           "text/plain; charset=utf-8")
+                return
+            body = metrics_text(snap).encode()
+            self._send(200, body,
+                       "text/plain; version=0.0.4; charset=utf-8")
+            return
+        if route == "/events/tail":
+            if self.events_path is None:
+                self._send_json(404, {"error": "no event stream configured"})
+                return
+            try:
+                n = int(parse_qs(url.query).get("n", ["50"])[0])
+            except ValueError:
+                n = 50
+            self._send_json(200, tail_events(self.events_path,
+                                             n=max(1, min(n, 1000))))
+            return
+        self._send_json(404, {"error": f"unknown route {route!r}"})
+
+
+class TelemetryServer:
+    """Threaded stdlib HTTP server over a snapshot file + event stream.
+
+    ``port=0`` binds an ephemeral port (read it back from ``.port``).
+    The server thread is a daemon and every request thread is too, so a
+    crashing driver never hangs on observability machinery.
+    """
+
+    def __init__(
+        self,
+        snapshot_path: str | Path,
+        events_path: str | Path | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        handler = type(
+            "_BoundHandler",
+            (_Handler,),
+            {
+                "snapshot_path": Path(snapshot_path),
+                "events_path": (
+                    Path(events_path) if events_path is not None else None
+                ),
+            },
+        )
+        self._httpd = ThreadingHTTPServer((host, int(port)), handler)
+        self._httpd.daemon_threads = True
+        self.host = host
+        self.port = int(self._httpd.server_address[1])
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-telemetry-http",
+            daemon=True,
+        )
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "TelemetryServer":
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread.is_alive():
+            self._thread.join(timeout=5.0)
+
+
+# ----------------------------------------------------------------------
+# Discovery + the one-call wiring used by drivers
+
+
+def write_endpoint_file(dir_: str | Path, server: TelemetryServer,
+                        **extra) -> Path:
+    """Drop ``server.json`` so offline tools can find the live endpoint."""
+    import os
+
+    path = Path(dir_) / ENDPOINT_FILENAME
+    _atomic_write_json(
+        {"url": server.url, "host": server.host, "port": server.port,
+         "pid": os.getpid(), **extra},
+        path,
+    )
+    return path
+
+
+def read_endpoint_file(dir_: str | Path) -> dict | None:
+    """Parsed ``server.json`` if present and well-formed, else None."""
+    path = Path(dir_) / ENDPOINT_FILENAME
+    try:
+        with open(path, encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, ValueError):
+        return None
+
+
+class ServeHandle:
+    """Snapshotter + server + discovery file, closed as one unit."""
+
+    def __init__(self, snapshotter: StatusSnapshotter,
+                 server: TelemetryServer, endpoint_file: Path | None):
+        self.snapshotter = snapshotter
+        self.server = server
+        self.endpoint_file = endpoint_file
+
+    @property
+    def url(self) -> str:
+        return self.server.url
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def close(self) -> None:
+        self.snapshotter.close()
+        self.server.close()
+        if self.endpoint_file is not None:
+            self.endpoint_file.unlink(missing_ok=True)
+
+    def __enter__(self) -> "ServeHandle":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+
+def serve_status(
+    provider,
+    out_dir: str | Path,
+    port: int = 0,
+    events_path: str | Path | None = None,
+    interval: float = DEFAULT_INTERVAL_S,
+    host: str = "127.0.0.1",
+    **endpoint_extra,
+) -> ServeHandle:
+    """Start the full observability plane for one run directory.
+
+    ``provider() -> dict`` supplies the status payload (see
+    :func:`build_status` for the telemetry-backed one); the snapshot file
+    lands at ``out_dir/status.json``, the discovery file at
+    ``out_dir/server.json``.
+    """
+    out_dir = Path(out_dir)
+    snapshotter = StatusSnapshotter(
+        provider, out_dir / "status.json", interval=interval
+    ).start()
+    server = TelemetryServer(
+        out_dir / "status.json", events_path=events_path,
+        host=host, port=port,
+    ).start()
+    endpoint_file = write_endpoint_file(out_dir, server, **endpoint_extra)
+    return ServeHandle(snapshotter, server, endpoint_file)

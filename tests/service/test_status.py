@@ -1,0 +1,153 @@
+"""Live campaign observability: /status while running, fallback after."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.request
+
+import pytest
+
+from repro.service import (
+    CampaignManifest,
+    CampaignRunner,
+    JobSpec,
+    campaign_status,
+    fetch_live_status,
+    render_status,
+)
+from repro.service.status import read_status_snapshot
+from repro.telemetry.server import read_endpoint_file
+
+
+def _manifest(testjobs, n_jobs=2, steps=20, dt=0.02):
+    return CampaignManifest(
+        name="live",
+        max_parallel=1,
+        jobs=[
+            JobSpec(
+                job_id=f"j{i}",
+                experiment=f"python:{testjobs}:run_slow",
+                isolation="inline",
+                params={"steps": steps, "dt": dt},
+                max_attempts=1,
+            )
+            for i in range(n_jobs)
+        ],
+    )
+
+
+def _get_json(url, timeout=5.0):
+    with urllib.request.urlopen(url, timeout=timeout) as resp:
+        return json.loads(resp.read())
+
+
+def test_campaign_serves_live_status_and_metrics(tmp_path, testjobs):
+    """Acceptance: a running campaign answers live HTTP queries."""
+    camp = tmp_path / "camp"
+    runner = CampaignRunner(
+        _manifest(testjobs), camp, serve_port=0, serve_interval=0.05
+    )
+    t = threading.Thread(target=runner.run)
+    t.start()
+    try:
+        while runner.serve_url is None:
+            pass
+        # discovery file points at the bound endpoint
+        endpoint = read_endpoint_file(camp)
+        assert endpoint is not None
+        assert endpoint["url"] == runner.serve_url
+        assert endpoint["kind"] == "campaign"
+
+        status = _get_json(runner.serve_url + "/status")
+        assert status["state"] == "running"
+        assert status["campaign"]["name"] == "live"
+        assert status["campaign"]["jobs"] == 2
+        assert set(status["jobs"]) == {"j0", "j1"}
+
+        with urllib.request.urlopen(
+            runner.serve_url + "/metrics", timeout=5.0
+        ) as resp:
+            assert "version=0.0.4" in resp.headers["Content-Type"]
+            text = resp.read().decode()
+        assert "repro_campaign_jobs_jobs 2" in text
+
+        tail = _get_json(runner.serve_url + "/events/tail?n=5")
+        assert any(e.get("event") == "campaign_start" for e in tail)
+
+        # the live query path resolves through the discovery file too
+        live = campaign_status(camp)
+        assert live["source"] == "live"
+        assert "running:" in render_status(live) or "jobs:" in render_status(
+            live
+        )
+    finally:
+        t.join(timeout=60)
+    assert not t.is_alive()
+
+
+def test_status_falls_back_after_campaign_ends(tmp_path, testjobs):
+    camp = tmp_path / "camp"
+    runner = CampaignRunner(
+        _manifest(testjobs, n_jobs=1, steps=2, dt=0.0),
+        camp,
+        serve_port=0,
+        serve_interval=0.05,
+    )
+    report = runner.run()
+    assert report["counts"]["failed"] == 0
+    # endpoint file removed on clean shutdown -> no live answer
+    assert read_endpoint_file(camp) is None
+    assert fetch_live_status(camp) is None
+    # final snapshot recorded the terminal state
+    snap = read_status_snapshot(camp)
+    assert snap["state"] == "done"
+    assert snap["jobs"] == {"j0": "completed"}
+    status = campaign_status(camp)
+    assert status["source"] == "snapshot"
+    assert status["campaign"]["completed"] == 1
+
+
+def test_status_falls_back_to_report_without_snapshot(tmp_path, testjobs):
+    camp = tmp_path / "camp"
+    # no serving at all: neither server.json nor status.json exist
+    report = CampaignRunner(
+        _manifest(testjobs, n_jobs=1, steps=2, dt=0.0), camp
+    ).run()
+    assert report["counts"]["completed"] == 1
+    status = campaign_status(camp)
+    assert status["source"] == "report"
+    assert status["report"]["counts"]["completed"] == 1
+    assert "completed" in render_status(status)
+
+
+def test_stale_endpoint_file_is_ignored(tmp_path, testjobs):
+    # a server.json pointing at a dead port must not raise, just fall
+    # through to the artifact-backed answer
+    camp = tmp_path / "camp"
+    CampaignRunner(
+        _manifest(testjobs, n_jobs=1, steps=2, dt=0.0), camp
+    ).run()
+    (camp / "server.json").write_text(
+        json.dumps({"url": "http://127.0.0.1:1", "port": 1})
+    )
+    assert fetch_live_status(camp, timeout=0.5) is None
+    status = campaign_status(camp, timeout=0.5)
+    assert status["source"] == "report"
+
+
+def test_cli_campaign_status_renders_snapshot(tmp_path, testjobs, capsys):
+    from repro.cli import main
+
+    camp = tmp_path / "camp"
+    CampaignRunner(
+        _manifest(testjobs, n_jobs=1, steps=2, dt=0.0),
+        camp,
+        serve_port=0,
+        serve_interval=0.05,
+    ).run()
+    rc = main(["campaign", "status", str(camp)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "campaign live" in out
+    assert "1 completed" in out

@@ -117,6 +117,57 @@ def test_render_summary_mentions_phases_and_metrics():
     assert "ht" in text
 
 
+def test_rank_balance_rollup_in_summary():
+    from repro.telemetry.report import rank_balance
+
+    tel = Telemetry()
+    tel.record_rank_seconds("dist/collide", {0: 1.0, 1: 2.0})
+    tel.record_rank_seconds("dist/collide", {0: 1.0, 1: 2.0})
+    tel.record_rank_seconds("dist/halo", {0: 0.5, 1: 0.5})
+    balance = rank_balance(tel.rank_seconds)
+    assert balance["dist/collide"]["n_ranks"] == 2
+    assert balance["dist/collide"]["max_s"] == pytest.approx(4.0)
+    assert balance["dist/collide"]["mean_s"] == pytest.approx(3.0)
+    assert balance["dist/collide"]["imbalance"] == pytest.approx(4 / 3)
+    assert balance["dist/halo"]["imbalance"] == pytest.approx(1.0)
+    # the rollup lands in summary() and its rendering
+    s = tel.summary()
+    assert s["rank_balance"]["dist/collide"]["imbalance"] == pytest.approx(
+        4 / 3
+    )
+    text = render_summary(s)
+    assert "rank balance" in text
+    assert "dist/collide" in text
+
+
+def test_rank_balance_absent_without_rank_data():
+    tel = Telemetry()
+    with tel.phase("step"):
+        pass
+    assert "rank_balance" not in tel.summary()
+
+
+def test_rank_balance_fed_by_distributed_step():
+    import numpy as np
+
+    from repro.lbm import Grid
+    from repro.parallel import DistributedLBMSolver
+    from repro.telemetry import active
+
+    shape = (8, 8, 8)
+    g = Grid(shape, tau=0.8)
+    g.init_equilibrium(np.ones(shape), np.zeros((3,) + shape))
+    tel = Telemetry()
+    with active(tel):
+        with DistributedLBMSolver(shape, tau=0.8, n_tasks=2) as d:
+            d.scatter(g.f.copy())
+            d.step(2)
+    balance = tel.summary()["rank_balance"]
+    assert set(balance) == {"dist/collide", "dist/halo", "dist/stream"}
+    assert balance["dist/collide"]["n_ranks"] == 2
+    assert balance["dist/collide"]["imbalance"] >= 1.0
+
+
 def test_null_telemetry_full_surface(tmp_path):
     tel = NullTelemetry()
     with tel.phase("anything"):
@@ -132,5 +183,9 @@ def test_null_telemetry_full_surface(tmp_path):
     tel.gauge("g").set(2.0)
     tel.flush()
     tel.close()
+    tel.record_rank_seconds("p", {0: 1.0})
+    assert tel.rank_seconds == {}
+    assert tel.write_trace() is None
+    assert tel.tracer is None
     # No files were created anywhere.
     assert list(tmp_path.iterdir()) == []

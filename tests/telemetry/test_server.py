@@ -1,0 +1,235 @@
+"""Status snapshots, Prometheus derivation, and the HTTP endpoint."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.telemetry import Telemetry
+from repro.telemetry.server import (
+    StatusSnapshotter,
+    TelemetryServer,
+    build_status,
+    derived_metrics_text,
+    metrics_text,
+    read_endpoint_file,
+    serve_status,
+    write_endpoint_file,
+)
+
+
+def _get(url, timeout=5.0):
+    with urllib.request.urlopen(url, timeout=timeout) as resp:
+        return resp.status, resp.headers.get("Content-Type"), resp.read()
+
+
+# ----------------------------------------------------------------------
+# build_status / metrics derivation
+
+
+def test_build_status_reads_live_state():
+    clock = iter(float(i) for i in range(100)).__next__
+    tel = Telemetry(clock=clock)
+    for _ in range(3):
+        with tel.phase("step"):
+            pass
+    status = build_status(tel, extra={"campaign": {"jobs": 1}})
+    assert status["state"] == "running"
+    assert status["steps_done"] == 3
+    assert status["step_rate_per_s"] == pytest.approx(
+        3 / status["uptime_s"]
+    )
+    assert status["campaign"] == {"jobs": 1}
+    assert "phases" in status["summary"]
+
+
+def test_build_status_counts_steps_from_counter():
+    tel = Telemetry()
+    tel.inc("steps", 7)
+    status = build_status(tel)
+    assert status["steps_done"] == 7
+
+
+def test_derived_metrics_include_rank_imbalance():
+    tel = Telemetry()
+    tel.record_rank_seconds("dist/collide", {0: 1.0, 1: 3.0})
+    status = build_status(tel)
+    text = derived_metrics_text(status)
+    assert '# TYPE repro_phase_rank_imbalance gauge' in text
+    assert 'repro_phase_rank_imbalance{phase="dist/collide"} 1.5' in text
+    assert 'repro_phase_rank_max_seconds{phase="dist/collide"} 3.0' in text
+
+
+def test_derived_metrics_include_halo_rates():
+    tel = Telemetry()
+    tel.inc("comm.bytes_sent", 1000)
+    status = build_status(tel)
+    status["uptime_s"] = 2.0
+    text = derived_metrics_text(status)
+    assert "repro_halo_bytes_per_s 500.0" in text
+
+
+def test_metrics_text_combines_registry_and_derived():
+    tel = Telemetry()
+    tel.inc("cells.inserted", 4)
+    tel.gauge("ht").set(0.2)
+    text = metrics_text(build_status(tel))
+    assert "repro_cells_inserted_total 4" in text
+    assert "# TYPE repro_ht gauge" in text
+
+
+# ----------------------------------------------------------------------
+# StatusSnapshotter
+
+
+def test_snapshotter_writes_atomic_snapshot(tmp_path):
+    path = tmp_path / "status.json"
+    snap = StatusSnapshotter(lambda: {"state": "running"}, path,
+                             interval=60.0)
+    assert snap.write_once()
+    assert json.loads(path.read_text()) == {"state": "running"}
+    assert list(tmp_path.iterdir()) == [path]
+
+
+def test_snapshotter_survives_provider_exception(tmp_path):
+    path = tmp_path / "status.json"
+
+    def bad():
+        raise RuntimeError("boom")
+
+    snap = StatusSnapshotter(bad, path, interval=60.0)
+    assert not snap.write_once()
+    assert not path.exists()
+
+
+def test_snapshotter_final_write_on_close(tmp_path):
+    state = {"state": "running"}
+    path = tmp_path / "status.json"
+    snap = StatusSnapshotter(lambda: dict(state), path, interval=60.0)
+    snap.start()
+    state["state"] = "done"
+    snap.close()
+    assert json.loads(path.read_text())["state"] == "done"
+
+
+# ----------------------------------------------------------------------
+# The HTTP endpoint
+
+
+@pytest.fixture
+def served(tmp_path):
+    tel = Telemetry(out_dir=tmp_path)
+    tel.inc("cells.inserted", 2)
+    tel.event("run_start", experiment="t")
+    for i in range(3):
+        tel.event("tick", i=i)
+    handle = serve_status(
+        lambda: build_status(tel),
+        tmp_path,
+        port=0,
+        events_path=tmp_path / "events.jsonl",
+    )
+    yield tel, handle, tmp_path
+    handle.close()
+    tel.close()
+
+
+def test_http_status_endpoint(served):
+    tel, handle, tmp_path = served
+    code, ctype, body = _get(handle.url + "/status")
+    assert code == 200
+    assert ctype.startswith("application/json")
+    status = json.loads(body)
+    assert status["state"] == "running"
+    assert status["summary"]["counters"]["cells.inserted"]["value"] == 2
+
+
+def test_http_metrics_endpoint(served):
+    tel, handle, tmp_path = served
+    code, ctype, body = _get(handle.url + "/metrics")
+    assert code == 200
+    assert "version=0.0.4" in ctype
+    text = body.decode()
+    assert "# TYPE repro_cells_inserted_total counter" in text
+    assert "repro_cells_inserted_total 2" in text
+
+
+def test_http_events_tail(served):
+    tel, handle, tmp_path = served
+    code, _, body = _get(handle.url + "/events/tail?n=2")
+    assert code == 200
+    events = json.loads(body)
+    assert [e["type"] for e in events] == ["tick", "tick"]
+    assert events[-1]["i"] == 2
+
+
+def test_http_root_lists_endpoints(served):
+    tel, handle, tmp_path = served
+    code, _, body = _get(handle.url + "/")
+    assert code == 200
+    assert "/metrics" in json.loads(body)["endpoints"]
+
+
+def test_http_unknown_route_404(served):
+    tel, handle, tmp_path = served
+    with pytest.raises(urllib.error.HTTPError) as exc:
+        _get(handle.url + "/nope")
+    assert exc.value.code == 404
+
+
+def test_http_503_before_first_snapshot(tmp_path):
+    server = TelemetryServer(tmp_path / "missing.json").start()
+    try:
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            _get(f"http://127.0.0.1:{server.port}/status")
+        assert exc.value.code == 503
+    finally:
+        server.close()
+
+
+def test_http_serves_concurrent_requests(served):
+    tel, handle, tmp_path = served
+    results = []
+
+    def hit():
+        code, _, _ = _get(handle.url + "/status")
+        results.append(code)
+
+    threads = [threading.Thread(target=hit) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert results == [200] * 8
+
+
+# ----------------------------------------------------------------------
+# Discovery file
+
+
+def test_endpoint_file_roundtrip(tmp_path):
+    server = TelemetryServer(tmp_path / "status.json").start()
+    try:
+        write_endpoint_file(tmp_path, server, kind="test")
+        info = read_endpoint_file(tmp_path)
+        assert info["url"] == server.url
+        assert info["port"] == server.port
+        assert info["kind"] == "test"
+        assert info["pid"] > 0
+    finally:
+        server.close()
+
+
+def test_endpoint_file_removed_on_handle_close(tmp_path):
+    handle = serve_status(lambda: {"state": "running"}, tmp_path, port=0)
+    assert read_endpoint_file(tmp_path) is not None
+    handle.close()
+    assert read_endpoint_file(tmp_path) is None
+
+
+def test_read_endpoint_file_missing_or_corrupt(tmp_path):
+    assert read_endpoint_file(tmp_path) is None
+    (tmp_path / "server.json").write_text("{not json")
+    assert read_endpoint_file(tmp_path) is None
