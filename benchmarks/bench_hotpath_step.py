@@ -48,14 +48,16 @@ PHASES = ("forces", "spread", "collide_stream", "advect")
 def build_stepper(shape, n_cells: int, subdivisions: int, seed: int,
                   backend: str | None = None,
                   workers: int | None = None,
-                  kernels: str | None = None) -> FSIStepper:
+                  kernels: str | None = None,
+                  dtype: str | None = None) -> FSIStepper:
     """Seeded cell-laden periodic lattice driven by a body force."""
     dx = 0.65e-6
     nu = 1.2e-3 / 1025.0
     dt = (1.0 / 6.0) * dx**2 / nu  # tau = 1
     units = UnitSystem(dx, dt, 1025.0)
-    grid = Grid(tuple(shape), tau=1.0, origin=np.zeros(3), spacing=dx)
-    manager = CellManager()
+    grid = Grid(tuple(shape), tau=1.0, origin=np.zeros(3), spacing=dx,
+                dtype=dtype)
+    manager = CellManager(kernels=kernels)
     rng = np.random.default_rng(seed)
     extent = dx * (np.asarray(shape) - 1)
     for _ in range(n_cells):
@@ -81,10 +83,10 @@ def build_stepper(shape, n_cells: int, subdivisions: int, seed: int,
 
 
 def run(args, backend: str | None = None, workers: int | None = None,
-        kernels: str | None = None) -> dict:
+        kernels: str | None = None, dtype: str | None = None) -> dict:
     stepper = build_stepper(args.shape, args.cells, args.subdivisions,
                             args.seed, backend=backend, workers=workers,
-                            kernels=kernels)
+                            kernels=kernels, dtype=dtype)
     try:
         # JIT compilation must never land inside the timed window: compile
         # every registered kernel explicitly (recording per-kernel compile
@@ -117,6 +119,7 @@ def run(args, backend: str | None = None, workers: int | None = None,
             "backend": stepper.backend,
             "workers": stepper.n_workers,
             "kernels": stepper.kernels,
+            "dtype": stepper.grid.dtype.name,
             "jit_compile_s": jit_compile_s,
         }
     finally:
@@ -177,9 +180,18 @@ def main(argv=None) -> int:
     parser.add_argument("--workers", type=int, default=None,
                         help="FSI worker count for the main run")
     parser.add_argument("--kernels", default=None,
-                        choices=("numpy", "numba"),
+                        choices=("numpy", "numba", "arrayapi:numpy",
+                                 "arrayapi:cupy"),
                         help="compute-kernel backend for the hot loops "
                              "(default: REPRO_KERNELS or numpy)")
+    parser.add_argument("--dtype", default=None,
+                        choices=("float32", "float64"),
+                        help="Eulerian compute dtype for the main run "
+                             "(default: REPRO_DTYPE or float64)")
+    parser.add_argument("--sweep-dtypes", nargs="+", default=None,
+                        choices=("float32", "float64"),
+                        help="also record a float32-vs-float64 phase curve "
+                             "(same backend/kernels as the main run)")
     parser.add_argument("--sweep-backends", nargs="+", default=None,
                         choices=("serial", "threads", "processes"),
                         help="also record serial-vs-parallel phase curves "
@@ -194,7 +206,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     result = run(args, backend=args.backend, workers=args.workers,
-                 kernels=args.kernels)
+                 kernels=args.kernels, dtype=args.dtype)
     record = {
         "benchmark": "hotpath_step",
         "config": {
@@ -207,7 +219,7 @@ def main(argv=None) -> int:
             "backend": result["backend"],
             "workers": result["workers"],
             "kernels": result["kernels"],
-            "jit_compile_s": result["jit_compile_s"],
+            "dtype": result["dtype"],
         },
         "machine": machine_info(),
         "result": result,
@@ -215,16 +227,31 @@ def main(argv=None) -> int:
     if args.sweep_backends:
         serial = (result
                   if result["backend"] == "serial"
-                  else run(args, backend="serial", kernels=args.kernels))
+                  else run(args, backend="serial", kernels=args.kernels,
+                           dtype=args.dtype))
         record["parallel"] = run_sweep(args, serial)
-    elif args.out.exists():
-        # Preserve a previously recorded sweep on plain re-runs (same
+    if args.sweep_dtypes:
+        curve = {}
+        for dt in args.sweep_dtypes:
+            curve[dt] = (result if dt == result["dtype"]
+                         else run(args, backend=args.backend,
+                                  workers=args.workers,
+                                  kernels=args.kernels, dtype=dt))
+        record["dtype_curve"] = curve
+        if {"float32", "float64"} <= curve.keys():
+            record["dtype_speedup_float32"] = (
+                curve["float64"]["total_ms_per_step"]
+                / curve["float32"]["total_ms_per_step"]
+            )
+    if args.out.exists():
+        # Preserve previously recorded sweeps on plain re-runs (same
         # convention as the weak-scaling section of BENCH_scaling.json).
         try:
             with open(args.out, encoding="utf-8") as fh:
                 prior = json.load(fh)
-            if "parallel" in prior:
-                record["parallel"] = prior["parallel"]
+            for key in ("parallel", "dtype_curve", "dtype_speedup_float32"):
+                if key in prior and key not in record:
+                    record[key] = prior[key]
         except (json.JSONDecodeError, OSError):
             pass
     if args.baseline is not None and args.baseline.exists():
@@ -242,7 +269,7 @@ def main(argv=None) -> int:
         fh.write("\n")
 
     print(f"hotpath_step [{result['backend']} x{result['workers']}, "
-          f"kernels={result['kernels']}]: "
+          f"kernels={result['kernels']}, dtype={result['dtype']}]: "
           f"{result['total_ms_per_step']:.2f} ms/step "
           f"({result['steps_per_s']:.1f} steps/s), "
           f"{result['n_cells']} cells / {result['n_vertices']} vertices")
@@ -255,6 +282,13 @@ def main(argv=None) -> int:
               f"(excluded from timed window)")
     if "speedup_vs_baseline" in record:
         print(f"  speedup vs baseline: {record['speedup_vs_baseline']:.2f}x")
+    if args.sweep_dtypes and "dtype_curve" in record:
+        print("dtype sweep:")
+        for dt, r in record["dtype_curve"].items():
+            print(f"  {dt:>9s}: {r['total_ms_per_step']:8.2f} ms/step")
+        if "dtype_speedup_float32" in record:
+            print(f"  float32 speedup vs float64: "
+                  f"{record['dtype_speedup_float32']:.2f}x")
     if args.sweep_backends:
         par = record["parallel"]
         print(f"backend sweep (cpu_count={par['cpu_count']}):")

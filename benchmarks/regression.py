@@ -109,9 +109,40 @@ def collect_comm_records(doc, prefix: str = "") -> dict[str, dict[str, float]]:
     return out
 
 
+#: Config keys that are *measurements*, not workload parameters: older
+#: hot-path artifacts stamped per-kernel JIT compile seconds into their
+#: config, which made every warm/cold pair look like different workloads.
+CONFIG_MEASUREMENT_KEYS = frozenset({"jit_compile_s"})
+
+#: Workload keys absent from older artifacts, with the value those
+#: artifacts implicitly ran under.  A pre-dispatch baseline (no
+#: ``kernels`` key) really did run the numpy float64 path, so it strict-
+#: compares against a modern artifact that says so explicitly.
+CONFIG_DEFAULTS = {"kernels": "numpy", "dtype": "float64"}
+
+
+def normalize_config(config: dict | None) -> dict:
+    """Workload-identity view of a config dict (defaults filled, non-workload keys dropped)."""
+    cfg = {
+        k: v for k, v in (config or {}).items()
+        if k not in CONFIG_MEASUREMENT_KEYS
+    }
+    for key, default in CONFIG_DEFAULTS.items():
+        cfg.setdefault(key, default)
+    return cfg
+
+
 def configs_match(baseline: dict, current: dict) -> bool:
-    """True when the two artifacts measured the same workload."""
-    return baseline.get("config") == current.get("config")
+    """True when the two artifacts measured the same workload.
+
+    Compares normalized configs: the kernels backend and compute dtype
+    participate in workload identity (a numba or float32 run is *not*
+    the same workload as the numpy float64 reference), while recorded
+    measurements like JIT compile times do not.
+    """
+    return normalize_config(baseline.get("config")) == normalize_config(
+        current.get("config")
+    )
 
 
 def machines_match(baseline: dict, current: dict) -> bool:

@@ -302,10 +302,66 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_kernels(args: argparse.Namespace) -> int:
+    """Report kernel backends: availability, active selection, warmup cost."""
+    import os
+    import warnings
+
+    from . import kernels as K
+
+    avail = K.available_backends()
+    reasons = {
+        "numba": "numba not importable; requests fall back to numpy",
+        "arrayapi:cupy": "cupy not importable; requests fall back to "
+                         "arrayapi:numpy",
+    }
+    print("kernel backends:")
+    for b in sorted(set(K.BACKEND_IDS) | set(avail)):
+        if b in avail:
+            note = "available" + (" (reference)" if b == "numpy" else "")
+        else:
+            note = f"unavailable ({reasons.get(b, 'not registered')})"
+        print(f"  {b:<16} {note}")
+
+    env = os.environ.get(K.ENV_VAR)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")  # fallback shown inline instead
+        active = K.resolve_kernels()
+    if args.kernels is not None:
+        source = "--kernels"  # main() published it via REPRO_KERNELS
+    elif env:
+        source = f"{K.ENV_VAR}={env}"
+    else:
+        source = "default"
+    requested = env or K.DEFAULT_BACKEND
+    fell_back = f" (requested {requested!r}, fell back)" \
+        if active != requested else ""
+    print(f"active backend: {active} [{source}]{fell_back}")
+
+    denv = os.environ.get(K.DTYPE_ENV_VAR)
+    dt = K.resolve_dtype()
+    dsource = f"{K.DTYPE_ENV_VAR}={denv}" if denv else "default"
+    print(f"compute dtype: {dt.name} [{dsource}]")
+    print(f"kernels ({len(K.KERNEL_NAMES)}): {', '.join(K.KERNEL_NAMES)}")
+
+    if args.warmup:
+        seconds = K.warmup(active)
+        if not seconds:
+            print(f"warmup: no-op for backend {active!r} "
+                  "(nothing to compile)")
+        else:
+            print("warmup (per-kernel compile/first-call seconds):")
+            for name in K.KERNEL_NAMES:
+                if name in seconds:
+                    print(f"  {name:<20} {seconds[name]:8.3f} s")
+            print(f"  {'total':<20} {sum(seconds.values()):8.3f} s")
+    return 0
+
+
 def _add_kernels_flag(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--kernels",
-        choices=("numpy", "numba"),
+        choices=("numpy", "numba", "arrayapi:numpy", "arrayapi:cupy"),
         default=None,
         help="compute-kernel backend for the hot loops "
              "(default: REPRO_KERNELS or numpy)",
@@ -440,6 +496,17 @@ def build_parser() -> argparse.ArgumentParser:
     _add_telemetry_flag(p)
     _add_serve_flag(p)
     p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser(
+        "kernels",
+        help="inspect compute-kernel backends: availability, the active "
+             "selection and its source, and optional JIT warmup timings",
+    )
+    _add_kernels_flag(p)
+    p.add_argument("--warmup", action="store_true",
+                   help="compile/first-call every kernel of the active "
+                        "backend and report per-kernel seconds")
+    p.set_defaults(func=_cmd_kernels)
 
     p = sub.add_parser(
         "campaign",

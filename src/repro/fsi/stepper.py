@@ -71,8 +71,9 @@ class FSIStepper:
         defaulting to ``serial``).
     kernels:
         Kernels backend for the compiled hot paths (``"numpy"`` |
-        ``"numba"``; ``None`` resolves via ``REPRO_KERNELS``, which also
-        overrides an explicit argument — see :mod:`repro.kernels`).
+        ``"numba"`` | ``"arrayapi:numpy"`` | ``"arrayapi:cupy"``;
+        ``None`` resolves via ``REPRO_KERNELS``, which also overrides an
+        explicit argument — see :mod:`repro.kernels`).
     """
 
     def __init__(
@@ -95,8 +96,10 @@ class FSIStepper:
 
         self.grid = grid
         self.units = units
-        self.cells = cells if cells is not None else CellManager()
         self.kernels = resolve_kernels(kernels)
+        self.cells = (
+            cells if cells is not None else CellManager(kernels=self.kernels)
+        )
         # Retained for direct IBM access (tests, diagnostics); the hot
         # path routes through the parallel runtime instead.
         self.coupler = IBMCoupler(grid, kernel=kernel, mode=mode,

@@ -8,11 +8,13 @@ the CellManager population exactly.
 
 from __future__ import annotations
 
+import warnings
 from pathlib import Path
 
 import numpy as np
 
 from ..fsi.cell_manager import CellManager
+from ..kernels import resolve_dtype
 from ..membrane.cell import Cell, CellKind, reference_for
 
 #: Current checkpoint payload schema.  Version 1 is the original
@@ -74,13 +76,42 @@ def _subdivisions_from_vertex_count(n_vertices: int) -> int:
     return s
 
 
-def load_checkpoint(path: str | Path) -> dict:
+def _restore_field(arr: np.ndarray, dtype: np.dtype, name: str) -> np.ndarray:
+    """Cast a stored lattice field to the resolved compute dtype.
+
+    A same-dtype restore is a zero-copy pass-through (bit-exact resume);
+    a float64 checkpoint loaded into a float32 run warns, because the
+    downcast silently discards precision the checkpoint carried.
+    """
+    if arr.dtype == dtype:
+        return arr
+    if arr.dtype == np.float64 and dtype == np.float32:
+        warnings.warn(
+            f"checkpoint field {name!r} stored as float64 but the resolved "
+            f"compute dtype is float32; restoring loses precision",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+    return arr.astype(dtype)
+
+
+def load_checkpoint(
+    path: str | Path, dtype=None, kernels: str | None = None
+) -> dict:
     """Restore a checkpoint; returns a dict with step, fields, manager.
 
     Cells are rebuilt against freshly cached reference states of their
     kind/diameter (reference data is derived, not stored); the mesh
     subdivision level is inferred from each cell's vertex count.
+
+    ``dtype`` selects the compute dtype the lattice fields are restored
+    into (``None`` resolves via ``REPRO_DTYPE``; see
+    :func:`repro.kernels.resolve_dtype`) — restoring a float64 archive
+    into a float32 run emits a :class:`RuntimeWarning` for the precision
+    loss, while a same-dtype restore stays bit-exact.  ``kernels``
+    selects the rebuilt :class:`CellManager`'s kernel backend.
     """
+    dtype = resolve_dtype(dtype)
     data = np.load(path, allow_pickle=False)
     if "schema_version" in data:
         version = int(data["schema_version"])
@@ -93,11 +124,11 @@ def load_checkpoint(path: str | Path) -> dict:
             "to restore it"
         )
     out: dict = {"schema_version": version, "step": int(data["step"])}
-    out["f_coarse"] = data["f_coarse"]
+    out["f_coarse"] = _restore_field(data["f_coarse"], dtype, "f_coarse")
     if "f_fine" in data:
-        out["f_fine"] = data["f_fine"]
+        out["f_fine"] = _restore_field(data["f_fine"], dtype, "f_fine")
     if "cell_ids" in data:
-        manager = CellManager()
+        manager = CellManager(kernels=kernels)
         ids = data["cell_ids"]
         kinds = data["cell_kinds"]
         gs = data["cell_gs"]

@@ -11,19 +11,33 @@ named kernels with one implementation per *kernels backend*:
   compiled loops (:mod:`repro.kernels.numba_backend`), held to the NumPy
   serial trajectory within 1e-12 by the golden kernels×backend matrix
   (bitwise equality is not promised: compiled loops reassociate the
-  moment/force reductions).
+  moment/force reductions);
+* ``arrayapi:numpy`` / ``arrayapi:cupy`` — one device-portable
+  implementation (:mod:`repro.kernels.array_api_backend`) written against
+  a duck-typed array namespace ``xp``.  On the numpy namespace it mirrors
+  the reference's elementary operation order, so ``arrayapi:numpy`` is
+  bitwise identical to ``numpy`` (CI-testable without a GPU); the cupy
+  namespace registers automatically when CuPy imports and keeps ``f``,
+  packed vertices, and IBM scratch resident on the device across steps.
 
 Selection follows the established ``REPRO_PARALLEL_*`` pattern with one
 deliberate inversion: the ``REPRO_KERNELS`` environment variable, when
 set, **wins over** the constructor argument, so a CI leg or an operator
 can force every solver in a process onto one backend without touching
 call sites.  When numba is requested but absent (or its import fails),
-selection falls back to NumPy with a one-time warning.
+selection falls back to NumPy with a one-time warning; likewise
+``arrayapi:cupy`` without an importable CuPy falls back to
+``arrayapi:numpy``.
 
-The seam is a plain name → backend → callable registry: a future
-CuPy/array-API backend registers its adapters under a new backend name
-via :func:`register_backend` and every call site picks it up through the
-same :func:`get_kernel_table` — no call-site changes required.
+The compute dtype follows the same precedence via ``REPRO_DTYPE``
+(:func:`resolve_dtype`): ``float32`` halves the Eulerian memory
+bandwidth on CPU and is the native fast path on GPU; the Lagrangian
+membrane state stays float64 by design (see docs/performance.md).
+
+The seam is a plain name → backend → callable registry: a new backend
+registers its adapters under a backend name via :func:`register_backend`
+and every call site picks it up through the same
+:func:`get_kernel_table` — no call-site changes required.
 """
 
 from __future__ import annotations
@@ -32,6 +46,8 @@ import os
 import time
 import warnings
 from typing import Callable
+
+import numpy as np
 
 #: Environment variable selecting the kernels backend process-wide.
 ENV_VAR = "REPRO_KERNELS"
@@ -49,6 +65,10 @@ KERNEL_NAMES = (
     "stream_pull_padded",
     "skalak_forces",
     "bending_forces",
+    "area_volume_forces",
+    "local_area_forces",
+    "contact_scatter",
+    "subgrid_query",
     "ibm_interp",
     "ibm_spread",
     "ibm_spread_contrib",
@@ -56,12 +76,52 @@ KERNEL_NAMES = (
 )
 
 #: Stable numeric ids for the ``kernels.backend`` telemetry gauge.
-BACKEND_IDS = {"numpy": 0, "numba": 1}
+BACKEND_IDS = {"numpy": 0, "numba": 1, "arrayapi:numpy": 2, "arrayapi:cupy": 3}
+
+#: Environment variable selecting the compute dtype process-wide.
+DTYPE_ENV_VAR = "REPRO_DTYPE"
+
+#: Compute dtype used when neither ``REPRO_DTYPE`` nor a constructor
+#: argument selects one.
+DEFAULT_DTYPE = "float64"
+
+#: Supported compute dtypes for the Eulerian (lattice) state.
+DTYPE_NAMES = ("float32", "float64")
 
 #: name -> backend -> callable.  Populated by the backend modules below.
 _REGISTRY: dict[str, dict[str, Callable]] = {name: {} for name in KERNEL_NAMES}
 
 _warned_fallback = False
+_warned_cupy_fallback = False
+
+
+def resolve_dtype(dtype=None) -> "np.dtype":
+    """Resolve a compute-dtype request against the environment.
+
+    Precedence matches :func:`resolve_kernels`: the ``REPRO_DTYPE``
+    environment variable, when set, **wins over** the ``dtype`` argument,
+    which wins over :data:`DEFAULT_DTYPE`.  Accepts dtype names, numpy
+    dtypes, or scalar types; only ``float32``/``float64`` are valid
+    compute dtypes (the Lagrangian membrane state stays float64
+    regardless — see docs/performance.md).
+    """
+    env = os.environ.get(DTYPE_ENV_VAR)
+    requested = env if env else (dtype if dtype is not None else DEFAULT_DTYPE)
+    try:
+        resolved = np.dtype(requested)
+    except TypeError as exc:
+        source = f"{DTYPE_ENV_VAR}={env!r}" if env else f"dtype={dtype!r}"
+        raise ValueError(
+            f"invalid compute dtype {requested!r} (from {source}); "
+            f"pick one of {DTYPE_NAMES}"
+        ) from exc
+    if resolved.name not in DTYPE_NAMES:
+        source = f"{DTYPE_ENV_VAR}={env!r}" if env else f"dtype={dtype!r}"
+        raise ValueError(
+            f"unsupported compute dtype {resolved.name!r} (from {source}); "
+            f"pick one of {DTYPE_NAMES}"
+        )
+    return resolved
 
 
 def register_kernel(name: str, backend: str, fn: Callable | None = None) -> Callable:
@@ -87,13 +147,6 @@ def register_backend(backend: str, table: dict[str, Callable]) -> None:
         register_kernel(name, backend, fn)
 
 
-# Import order matters only for readability: numpy first (the reference),
-# then numba (gated — the module always imports, registration happens only
-# when numba itself imported cleanly).
-from . import numpy_backend as _numpy_backend  # noqa: E402
-from . import numba_backend as _numba_backend  # noqa: E402
-
-
 def available_backends() -> tuple[str, ...]:
     """Kernels backends usable in this process, reference first.
 
@@ -112,7 +165,10 @@ def available_backends() -> tuple[str, ...]:
 
 
 def _known_backends() -> tuple[str, ...]:
-    known = {"numpy", "numba"}
+    # ``numba`` and ``arrayapi:cupy`` are always *known* (requesting them
+    # is never a typo) even when their imports are absent — requests fall
+    # back gracefully in :func:`resolve_kernels` instead of raising.
+    known = {"numpy", "numba", "arrayapi:cupy"}
     for impls in _REGISTRY.values():
         known.update(impls)
     return tuple(sorted(known))
@@ -124,9 +180,12 @@ def resolve_kernels(backend: str | None = None) -> str:
     Precedence: ``REPRO_KERNELS`` env var (when set) > ``backend``
     argument > :data:`DEFAULT_BACKEND`.  A request for ``numba`` when
     numba is absent (or failed to import) falls back to ``"numpy"`` with
-    a one-time :class:`RuntimeWarning`.  Unknown names raise.
+    a one-time :class:`RuntimeWarning`; a request for ``arrayapi:cupy``
+    when CuPy is absent likewise falls back to ``"arrayapi:numpy"`` (the
+    same device-portable code on the host namespace).  Unknown names
+    raise.
     """
-    global _warned_fallback
+    global _warned_fallback, _warned_cupy_fallback
     env = os.environ.get(ENV_VAR)
     requested = env if env else (backend if backend is not None else DEFAULT_BACKEND)
     if requested not in _known_backends():
@@ -146,6 +205,17 @@ def resolve_kernels(backend: str | None = None) -> str:
             )
             _warned_fallback = True
         return "numpy"
+    if requested == "arrayapi:cupy" and not _array_api_backend.CUPY_AVAILABLE:
+        if not _warned_cupy_fallback:
+            warnings.warn(
+                "kernels backend 'arrayapi:cupy' requested but cupy is not "
+                "importable; falling back to the same array-API kernels on "
+                "the host numpy namespace ('arrayapi:numpy')",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            _warned_cupy_fallback = True
+        return "arrayapi:numpy"
     return requested
 
 
@@ -200,19 +270,42 @@ def warmup(backend: str | None = None) -> dict[str, float]:
     reported times reflect whatever this process actually paid.
     """
     resolved = resolve_kernels(backend)
-    if resolved != "numba" or not _numba_backend.NUMBA_AVAILABLE:
+    if resolved == "numba" and _numba_backend.NUMBA_AVAILABLE:
+        calls = _numba_backend.warmup_calls()
+    elif resolved.startswith("arrayapi:"):
+        # Nothing to compile on the host namespace; on cupy the tiny
+        # calls trigger the per-kernel RawModule/ufunc compilations and
+        # the initial device allocations outside any timed window.
+        calls = _array_api_backend.warmup_calls(resolved)
+    else:
         return {}
     times: dict[str, float] = {}
-    for name, call in _numba_backend.warmup_calls():
+    for name, call in calls:
         t0 = time.perf_counter()
         call()
         times[name] = time.perf_counter() - t0
     return times
 
 
+# Backend imports live at the bottom, after every registry function is
+# defined: the numpy backend reaches into ``repro.fsi`` (whose stepper
+# pulls ``repro.parallel``, which imports this module's resolve/table
+# functions at top level), so the registry API must be complete before
+# those modules execute.  Import order: numpy first (the reference), then
+# numba (gated — the module always imports, registration happens only
+# when numba itself imported cleanly), then the array-API backend
+# (``arrayapi:numpy`` always registers; ``arrayapi:cupy`` only when CuPy
+# itself imported cleanly).
+from . import numpy_backend as _numpy_backend  # noqa: E402
+from . import numba_backend as _numba_backend  # noqa: E402
+from . import array_api_backend as _array_api_backend  # noqa: E402
+
 __all__ = [
     "ENV_VAR",
     "DEFAULT_BACKEND",
+    "DTYPE_ENV_VAR",
+    "DEFAULT_DTYPE",
+    "DTYPE_NAMES",
     "KERNEL_NAMES",
     "BACKEND_IDS",
     "available_backends",
@@ -220,6 +313,7 @@ __all__ = [
     "get_kernel_table",
     "register_kernel",
     "register_backend",
+    "resolve_dtype",
     "resolve_kernels",
     "warmup",
 ]

@@ -409,6 +409,277 @@ def bending_forces(vertices, quads, theta0, k_bend):
 
 
 # ----------------------------------------------------------------------
+# Membrane: global area/volume penalty and per-face local-area penalty
+#
+# Same batch-parallel layout as the Skalak/bending loops.  The global
+# constraints need the cell's total area and signed volume first, so each
+# cell runs two face passes: a serial reduction, then the gradient
+# scatter.  The volume reduction divides by 6 once at the end, matching
+# ``mesh_volume``'s sum-then-divide order.
+
+
+@njit(parallel=True, cache=True)
+def _area_volume_core(v, faces, area0, volume0, k_area, k_volume, out):
+    n_batch = v.shape[0]
+    n_faces = faces.shape[0]
+    for b in prange(n_batch):
+        area = 0.0
+        vol6 = 0.0
+        for k in range(n_faces):
+            i0 = faces[k, 0]
+            i1 = faces[k, 1]
+            i2 = faces[k, 2]
+            d1x = v[b, i1, 0] - v[b, i0, 0]
+            d1y = v[b, i1, 1] - v[b, i0, 1]
+            d1z = v[b, i1, 2] - v[b, i0, 2]
+            d2x = v[b, i2, 0] - v[b, i0, 0]
+            d2y = v[b, i2, 1] - v[b, i0, 1]
+            d2z = v[b, i2, 2] - v[b, i0, 2]
+            nx = d1y * d2z - d1z * d2y
+            ny = d1z * d2x - d1x * d2z
+            nz = d1x * d2y - d1y * d2x
+            area += 0.5 * np.sqrt(nx * nx + ny * ny + nz * nz)
+            # (x0 x x1) . x2, accumulated before the single /6.
+            cx = v[b, i0, 1] * v[b, i1, 2] - v[b, i0, 2] * v[b, i1, 1]
+            cy = v[b, i0, 2] * v[b, i1, 0] - v[b, i0, 0] * v[b, i1, 2]
+            cz = v[b, i0, 0] * v[b, i1, 1] - v[b, i0, 1] * v[b, i1, 0]
+            vol6 += cx * v[b, i2, 0] + cy * v[b, i2, 1] + cz * v[b, i2, 2]
+        vol = vol6 / 6.0
+        coeff_a = 0.0
+        coeff_v = 0.0
+        if k_area != 0.0:
+            coeff_a = -k_area * (area - area0) / area0
+        if k_volume != 0.0:
+            coeff_v = -k_volume * (vol - volume0) / volume0
+        for k in range(n_faces):
+            i0 = faces[k, 0]
+            i1 = faces[k, 1]
+            i2 = faces[k, 2]
+            x0x = v[b, i0, 0]
+            x0y = v[b, i0, 1]
+            x0z = v[b, i0, 2]
+            x1x = v[b, i1, 0]
+            x1y = v[b, i1, 1]
+            x1z = v[b, i1, 2]
+            x2x = v[b, i2, 0]
+            x2y = v[b, i2, 1]
+            x2z = v[b, i2, 2]
+            if k_area != 0.0:
+                d1x = x1x - x0x
+                d1y = x1y - x0y
+                d1z = x1z - x0z
+                d2x = x2x - x0x
+                d2y = x2y - x0y
+                d2z = x2z - x0z
+                nx = d1y * d2z - d1z * d2y
+                ny = d1z * d2x - d1x * d2z
+                nz = d1x * d2y - d1y * d2x
+                n_norm = np.sqrt(nx * nx + ny * ny + nz * nz)
+                nhx = nx / n_norm
+                nhy = ny / n_norm
+                nhz = nz / n_norm
+                # dA/dx0 = 0.5 n_hat x (x2 - x1), cyclic.
+                e0x = x2x - x1x
+                e0y = x2y - x1y
+                e0z = x2z - x1z
+                out[b, i0, 0] += coeff_a * 0.5 * (nhy * e0z - nhz * e0y)
+                out[b, i0, 1] += coeff_a * 0.5 * (nhz * e0x - nhx * e0z)
+                out[b, i0, 2] += coeff_a * 0.5 * (nhx * e0y - nhy * e0x)
+                e1x = x0x - x2x
+                e1y = x0y - x2y
+                e1z = x0z - x2z
+                out[b, i1, 0] += coeff_a * 0.5 * (nhy * e1z - nhz * e1y)
+                out[b, i1, 1] += coeff_a * 0.5 * (nhz * e1x - nhx * e1z)
+                out[b, i1, 2] += coeff_a * 0.5 * (nhx * e1y - nhy * e1x)
+                e2x = x1x - x0x
+                e2y = x1y - x0y
+                e2z = x1z - x0z
+                out[b, i2, 0] += coeff_a * 0.5 * (nhy * e2z - nhz * e2y)
+                out[b, i2, 1] += coeff_a * 0.5 * (nhz * e2x - nhx * e2z)
+                out[b, i2, 2] += coeff_a * 0.5 * (nhx * e2y - nhy * e2x)
+            if k_volume != 0.0:
+                # dV/dx0 = (x1 x x2)/6, cyclic.
+                out[b, i0, 0] += coeff_v * (x1y * x2z - x1z * x2y) / 6.0
+                out[b, i0, 1] += coeff_v * (x1z * x2x - x1x * x2z) / 6.0
+                out[b, i0, 2] += coeff_v * (x1x * x2y - x1y * x2x) / 6.0
+                out[b, i1, 0] += coeff_v * (x2y * x0z - x2z * x0y) / 6.0
+                out[b, i1, 1] += coeff_v * (x2z * x0x - x2x * x0z) / 6.0
+                out[b, i1, 2] += coeff_v * (x2x * x0y - x2y * x0x) / 6.0
+                out[b, i2, 0] += coeff_v * (x0y * x1z - x0z * x1y) / 6.0
+                out[b, i2, 1] += coeff_v * (x0z * x1x - x0x * x1z) / 6.0
+                out[b, i2, 2] += coeff_v * (x0x * x1y - x0y * x1x) / 6.0
+
+
+def area_volume_forces(vertices, faces, area0, volume0, k_area, k_volume):
+    """Compiled global area/volume penalty forces; same contract as
+    :func:`repro.membrane.constraints.area_volume_forces`."""
+    v = np.asarray(vertices, dtype=np.float64)
+    batch_shape = v.shape[:-2]
+    vb = np.ascontiguousarray(v.reshape((-1,) + v.shape[-2:]))
+    out = np.zeros_like(vb)
+    _area_volume_core(vb, faces, float(area0), float(volume0),
+                      float(k_area), float(k_volume), out)
+    return out.reshape(batch_shape + v.shape[-2:])
+
+
+@njit(parallel=True, cache=True)
+def _local_area_core(v, faces, ref_face_area, k_local, out):
+    n_batch = v.shape[0]
+    n_faces = faces.shape[0]
+    for b in prange(n_batch):
+        for k in range(n_faces):
+            i0 = faces[k, 0]
+            i1 = faces[k, 1]
+            i2 = faces[k, 2]
+            x0x = v[b, i0, 0]
+            x0y = v[b, i0, 1]
+            x0z = v[b, i0, 2]
+            x1x = v[b, i1, 0]
+            x1y = v[b, i1, 1]
+            x1z = v[b, i1, 2]
+            x2x = v[b, i2, 0]
+            x2y = v[b, i2, 1]
+            x2z = v[b, i2, 2]
+            d1x = x1x - x0x
+            d1y = x1y - x0y
+            d1z = x1z - x0z
+            d2x = x2x - x0x
+            d2y = x2y - x0y
+            d2z = x2z - x0z
+            nx = d1y * d2z - d1z * d2y
+            ny = d1z * d2x - d1x * d2z
+            nz = d1x * d2y - d1y * d2x
+            n_norm = np.sqrt(nx * nx + ny * ny + nz * nz)
+            nhx = nx / n_norm
+            nhy = ny / n_norm
+            nhz = nz / n_norm
+            a_face = 0.5 * n_norm
+            a0 = ref_face_area[k]
+            coeff = -k_local * (a_face - a0) / a0
+            e0x = x2x - x1x
+            e0y = x2y - x1y
+            e0z = x2z - x1z
+            out[b, i0, 0] += coeff * 0.5 * (nhy * e0z - nhz * e0y)
+            out[b, i0, 1] += coeff * 0.5 * (nhz * e0x - nhx * e0z)
+            out[b, i0, 2] += coeff * 0.5 * (nhx * e0y - nhy * e0x)
+            e1x = x0x - x2x
+            e1y = x0y - x2y
+            e1z = x0z - x2z
+            out[b, i1, 0] += coeff * 0.5 * (nhy * e1z - nhz * e1y)
+            out[b, i1, 1] += coeff * 0.5 * (nhz * e1x - nhx * e1z)
+            out[b, i1, 2] += coeff * 0.5 * (nhx * e1y - nhy * e1x)
+            e2x = x1x - x0x
+            e2y = x1y - x0y
+            e2z = x1z - x0z
+            out[b, i2, 0] += coeff * 0.5 * (nhy * e2z - nhz * e2y)
+            out[b, i2, 1] += coeff * 0.5 * (nhz * e2x - nhx * e2z)
+            out[b, i2, 2] += coeff * 0.5 * (nhx * e2y - nhy * e2x)
+
+
+def local_area_forces(vertices, faces, ref_face_area, k_local):
+    """Compiled per-face area penalty forces; same contract as
+    :func:`repro.membrane.localarea.local_area_forces`."""
+    v = np.asarray(vertices, dtype=np.float64)
+    batch_shape = v.shape[:-2]
+    vb = np.ascontiguousarray(v.reshape((-1,) + v.shape[-2:]))
+    out = np.zeros_like(vb)
+    _local_area_core(vb, faces, ref_face_area, float(k_local), out)
+    return out.reshape(batch_shape + v.shape[-2:])
+
+
+# ----------------------------------------------------------------------
+# Contact: pair-force compute + equal-and-opposite scatter
+#
+# prange over the three force components (disjoint output columns); the
+# per-pair accumulation inside a component is serial in pair order — the
+# +f_ij pass first, then the -f_ij pass — which is exactly the per-vertex
+# summation order of the reference's stacked bincount, so this kernel is
+# bit-exact against the numpy reference.
+
+
+@njit(parallel=True, cache=True)
+def _contact_scatter_core(vertices, i, j, cutoff, stiffness, out):
+    m = i.shape[0]
+    r_floor = 1e-12 * cutoff
+    for axis in prange(3):
+        for p in range(m):
+            ii = i[p]
+            jj = j[p]
+            dx = vertices[ii, 0] - vertices[jj, 0]
+            dy = vertices[ii, 1] - vertices[jj, 1]
+            dz = vertices[ii, 2] - vertices[jj, 2]
+            r = np.sqrt(dx * dx + dy * dy + dz * dz)
+            if r < r_floor:
+                r = r_floor
+            mag = stiffness * (1.0 - r / cutoff)
+            scale = mag / r
+            if axis == 0:
+                out[ii, 0] += scale * dx
+            elif axis == 1:
+                out[ii, 1] += scale * dy
+            else:
+                out[ii, 2] += scale * dz
+        for p in range(m):
+            ii = i[p]
+            jj = j[p]
+            dx = vertices[ii, 0] - vertices[jj, 0]
+            dy = vertices[ii, 1] - vertices[jj, 1]
+            dz = vertices[ii, 2] - vertices[jj, 2]
+            r = np.sqrt(dx * dx + dy * dy + dz * dz)
+            if r < r_floor:
+                r = r_floor
+            mag = stiffness * (1.0 - r / cutoff)
+            scale = mag / r
+            if axis == 0:
+                out[jj, 0] -= scale * dx
+            elif axis == 1:
+                out[jj, 1] -= scale * dy
+            else:
+                out[jj, 2] -= scale * dz
+
+
+def contact_scatter(vertices, i, j, cutoff, stiffness, out):
+    """Compiled contact pair forces; same contract as
+    :func:`repro.fsi.contact.contact_scatter` (``out`` pre-zeroed)."""
+    _contact_scatter_core(
+        vertices,
+        np.ascontiguousarray(i, dtype=np.int64),
+        np.ascontiguousarray(j, dtype=np.int64),
+        float(cutoff), float(stiffness), out,
+    )
+
+
+# ----------------------------------------------------------------------
+# Subgrid: candidate distance filter (exact comparisons — bit-exact)
+
+
+@njit(parallel=True, cache=True)
+def _subgrid_query_core(stored, slot, points, probe, r2, out):
+    n = slot.shape[0]
+    for c in prange(n):
+        s = slot[c]
+        p = probe[c]
+        dx = stored[s, 0] - points[p, 0]
+        dy = stored[s, 1] - points[p, 1]
+        dz = stored[s, 2] - points[p, 2]
+        out[c] = (dx * dx + dy * dy) + dz * dz <= r2
+
+
+def subgrid_query(stored, slot, points, probe, radius):
+    """Compiled candidate distance filter; same contract as
+    :func:`repro.fsi.subgrid.subgrid_query`."""
+    out = np.empty(slot.shape[0], dtype=np.bool_)
+    _subgrid_query_core(
+        stored,
+        np.ascontiguousarray(slot, dtype=np.int64),
+        points,
+        np.ascontiguousarray(probe, dtype=np.int64),
+        float(radius) * float(radius), out,
+    )
+    return out
+
+
+# ----------------------------------------------------------------------
 # IBM: interpolation, spread contributions and the spread scatter
 
 
@@ -595,6 +866,25 @@ def warmup_calls():
     def call_membrane_bending():
         _bending_core(verts, quads, theta0, 1.0, mforce)
 
+    def call_area_volume():
+        _area_volume_core(verts, faces, 0.5, 0.05, 1.0, 1.0, mforce)
+
+    def call_local_area():
+        _local_area_core(verts, faces, ref_area, 1.0, mforce)
+
+    pair_i = np.zeros(1, dtype=np.int64)
+    pair_j = np.ones(1, dtype=np.int64)
+    cforce = np.zeros((4, 3))
+    slot = np.zeros(2, dtype=np.int64)
+    probe = np.zeros(2, dtype=np.int64)
+    qmask = np.empty(2, dtype=np.bool_)
+
+    def call_contact():
+        _contact_scatter_core(verts[0], pair_i, pair_j, 2.0, 1.0, cforce)
+
+    def call_subgrid():
+        _subgrid_query_core(verts[0], slot, verts[0, :1], probe, 1.0, qmask)
+
     def call_interp():
         _interp_vec_core(vec_field, ia, ia, ia, w, interp_out)
         _interp_scalar_core(scal_field, ia, ia, ia, w, interp_scal_out)
@@ -609,6 +899,10 @@ def warmup_calls():
         ("stream_pull_padded", lambda: _stream_padded_core(f, out)),
         ("skalak_forces", call_membrane_skalak),
         ("bending_forces", call_membrane_bending),
+        ("area_volume_forces", call_area_volume),
+        ("local_area_forces", call_local_area),
+        ("contact_scatter", call_contact),
+        ("subgrid_query", call_subgrid),
         ("ibm_interp", call_interp),
         ("ibm_spread", call_spread),
         ("ibm_spread_contrib",
@@ -629,6 +923,10 @@ if NUMBA_AVAILABLE:
             "stream_pull_padded": stream_pull_padded,
             "skalak_forces": skalak_forces,
             "bending_forces": bending_forces,
+            "area_volume_forces": area_volume_forces,
+            "local_area_forces": local_area_forces,
+            "contact_scatter": contact_scatter,
+            "subgrid_query": subgrid_query,
             "ibm_interp": ibm_interp,
             "ibm_spread": ibm_spread,
             "ibm_spread_contrib": ibm_spread_contrib,

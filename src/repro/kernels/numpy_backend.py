@@ -17,7 +17,66 @@ from ..ibm.coupling import interpolate_with_stencil, spread_with_stencil
 from ..lbm.collision import collide_bgk
 from ..lbm.streaming import stream_pull, stream_pull_padded
 from ..membrane.bending import bending_forces
+from ..membrane.constraints import area_volume_forces
+from ..membrane.localarea import local_area_forces
 from ..membrane.skalak import skalak_forces
+
+
+#: Reusable contact pair-scatter scratch; the pair count is stable
+#: between neighbor-list rebuilds, so the hot path reallocates nothing.
+#: Callers copy results out of ``out`` and never retain these buffers.
+_pair_scratch: dict[str, np.ndarray] = {}
+
+
+def _pair_buf(key: str, shape: tuple, dtype=np.float64) -> np.ndarray:
+    buf = _pair_scratch.get(key)
+    if buf is None or buf.shape != shape or buf.dtype != dtype:
+        buf = _pair_scratch[key] = np.empty(shape, dtype=dtype)
+    return buf
+
+
+def contact_scatter(vertices, i, j, cutoff, stiffness, out):
+    """Contact pair force compute + equal-and-opposite scatter.
+
+    ``(i, j)`` are the inter-cell vertex pairs already found by the
+    KDTree in :func:`repro.fsi.contact.contact_forces`; ``out`` is the
+    zeroed (N, 3) force accumulator, overwritten per component.  The
+    neighbor search stays on the host (scipy) — only this arithmetic and
+    the scatter are backend-swappable.  This module (not
+    :mod:`repro.fsi.contact`, which re-imports it) is the definition
+    site so the registry never has to import the ``repro.fsi`` package
+    (whose stepper imports the registry back).
+    """
+    n = len(vertices)
+    d = vertices[i] - vertices[j]
+    r = np.linalg.norm(d, axis=1)
+    r = np.maximum(r, 1e-12 * cutoff)
+    mag = stiffness * (1.0 - r / cutoff)
+    fij = (mag / r)[:, None] * d
+    # bincount over the stacked (i, j) index — same dense-scatter pattern
+    # as ibm.coupling.spread_with_stencil.  Summation order per vertex:
+    # +fij contributions in pair order, then -fij.
+    m = len(i)
+    idx = _pair_buf("pair_idx", (2 * m,), np.int64)
+    idx[:m] = i
+    idx[m:] = j
+    w = _pair_buf("pair_w", (2 * m,))
+    for axis in range(3):
+        w[:m] = fij[:, axis]
+        np.negative(fij[:, axis], out=w[m:])
+        out[:, axis] = np.bincount(idx, weights=w, minlength=n)
+
+
+def subgrid_query(stored, slot, points, probe, radius):
+    """Subgrid candidate distance filter (reference kernel).
+
+    ``(slot, probe)`` are the candidate pairs from the 27-bin ring of
+    :class:`repro.fsi.subgrid.UniformSubgrid`; returns the boolean hit
+    mask ``|stored[slot] - points[probe]| <= r``.  Exact comparisons, so
+    every backend is bitwise-identical here.
+    """
+    d2 = ((stored[slot] - points[probe]) ** 2).sum(axis=1)
+    return d2 <= radius * radius
 
 
 def ibm_interp(field, stencil):
@@ -72,6 +131,10 @@ register_backend(
         "stream_pull_padded": stream_pull_padded,
         "skalak_forces": skalak_forces,
         "bending_forces": bending_forces,
+        "area_volume_forces": area_volume_forces,
+        "local_area_forces": local_area_forces,
+        "contact_scatter": contact_scatter,
+        "subgrid_query": subgrid_query,
         "ibm_interp": ibm_interp,
         "ibm_spread": ibm_spread,
         "ibm_spread_contrib": ibm_spread_contrib,

@@ -27,28 +27,59 @@ from .lattice import D3Q19
 _C = np.ascontiguousarray(D3Q19.c.astype(np.float64))        # (Q, 3)
 _CT = np.ascontiguousarray(D3Q19.c.T.astype(np.float64))     # (3, Q)
 
+#: Per-compute-dtype ``(c, c.T, w)`` lattice constants.  The float64
+#: entry is seeded with the module's original arrays, so the default
+#: path stays bitwise-identical to the pre-dtype-policy code; other
+#: dtypes get cached cast copies (mixed-dtype matmuls would silently
+#: upcast every float32 collision back to float64).
+_CONSTS: dict[np.dtype, tuple[np.ndarray, np.ndarray, np.ndarray]] = {
+    np.dtype(np.float64): (_C, _CT, np.asarray(D3Q19.w, dtype=np.float64)),
+}
+
+
+def lattice_constants(dtype) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """``(c, c.T, w)`` lattice matrices in the requested compute dtype."""
+    dt = np.dtype(dtype)
+    entry = _CONSTS.get(dt)
+    if entry is None:
+        entry = _CONSTS[dt] = (
+            np.ascontiguousarray(_C.astype(dt)),
+            np.ascontiguousarray(_CT.astype(dt)),
+            D3Q19.w.astype(dt),
+        )
+    return entry
+
+
+def _rho_floor(dtype) -> float:
+    """Density floor guarding the velocity division, per compute dtype."""
+    if dtype == np.float64:
+        return 1e-300
+    return float(np.finfo(dtype).tiny)
+
 
 class CollisionScratch:
     """Preallocated per-lattice temporaries for the collide hot path.
 
     One instance per :class:`~repro.lbm.grid.Grid` shape; handing it to
     :func:`collide_bgk` removes all full-lattice allocations from the
-    collision step.
+    collision step.  ``dtype`` matches the grid's compute dtype.
     """
 
-    def __init__(self, shape: tuple[int, int, int]):
+    def __init__(self, shape: tuple[int, int, int], dtype=np.float64):
         q = D3Q19.Q
         self.shape = tuple(shape)
-        self.rho = np.empty(shape, dtype=np.float64)
-        self.mom = np.empty((3,) + tuple(shape), dtype=np.float64)
-        self.u = np.empty((3,) + tuple(shape), dtype=np.float64)
-        self.den = np.empty(shape, dtype=np.float64)
-        self.usq = np.empty(shape, dtype=np.float64)
-        self.uF = np.empty(shape, dtype=np.float64)
-        self.cu = np.empty((q,) + tuple(shape), dtype=np.float64)
-        self.cF = np.empty((q,) + tuple(shape), dtype=np.float64)
-        self.feq = np.empty((q,) + tuple(shape), dtype=np.float64)
-        self.src = np.empty((q,) + tuple(shape), dtype=np.float64)
+        self.dtype = np.dtype(dtype)
+        dt = self.dtype
+        self.rho = np.empty(shape, dtype=dt)
+        self.mom = np.empty((3,) + tuple(shape), dtype=dt)
+        self.u = np.empty((3,) + tuple(shape), dtype=dt)
+        self.den = np.empty(shape, dtype=dt)
+        self.usq = np.empty(shape, dtype=dt)
+        self.uF = np.empty(shape, dtype=dt)
+        self.cu = np.empty((q,) + tuple(shape), dtype=dt)
+        self.cF = np.empty((q,) + tuple(shape), dtype=dt)
+        self.feq = np.empty((q,) + tuple(shape), dtype=dt)
+        self.src = np.empty((q,) + tuple(shape), dtype=dt)
 
 
 def moments(
@@ -57,15 +88,16 @@ def moments(
     out_mom: np.ndarray | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Density and bare momentum (no force shift) of the distributions."""
+    ct = lattice_constants(f.dtype)[1]
     if out_rho is None:
         rho = f.sum(axis=0)
     else:
         rho = np.sum(f, axis=0, out=out_rho)
     if out_mom is None:
         # momentum = sum_i c_i f_i, via BLAS-backed tensordot.
-        mom = np.tensordot(_CT, f, axes=([1], [0]))
+        mom = np.tensordot(ct, f, axes=([1], [0]))
     else:
-        np.matmul(_CT, f.reshape(D3Q19.Q, -1), out=out_mom.reshape(3, -1))
+        np.matmul(ct, f.reshape(D3Q19.Q, -1), out=out_mom.reshape(3, -1))
         mom = out_mom
     return rho, mom
 
@@ -91,7 +123,7 @@ def velocity_from_moments(
         out += mom
     else:
         out[:] = mom
-    den = np.maximum(rho, 1e-300, out=den)
+    den = np.maximum(rho, _rho_floor(rho.dtype), out=den)
     out /= den
     return out
 
@@ -135,11 +167,12 @@ def equilibrium(
     ``out`` receives the result.
     """
     cs2 = D3Q19.cs2
+    c, _, w = lattice_constants(u.dtype)
     if cu is None:
         # tensordot dispatches to BLAS and beats einsum on large lattices.
-        cu = np.tensordot(_C, u, axes=([1], [0]))
+        cu = np.tensordot(c, u, axes=([1], [0]))
     else:
-        np.matmul(_C, u.reshape(3, -1), out=cu.reshape(D3Q19.Q, -1))
+        np.matmul(c, u.reshape(3, -1), out=cu.reshape(D3Q19.Q, -1))
     if usq is None:
         usq = (u * u).sum(axis=0)
     else:
@@ -154,7 +187,7 @@ def equilibrium(
     np.subtract(1.0, usq, out=usq)
     out += usq[None]
     out *= rho[None]
-    out *= D3Q19.w[:, None, None, None]
+    out *= w[:, None, None, None]
     return out
 
 
@@ -174,14 +207,15 @@ def guo_source(
     are scratch buffers (destroyed when given).
     """
     cs2 = D3Q19.cs2
+    c, _, w = lattice_constants(u.dtype)
     if cu is None:
-        cu = np.tensordot(_C, u, axes=([1], [0]))
+        cu = np.tensordot(c, u, axes=([1], [0]))
     else:
-        np.matmul(_C, u.reshape(3, -1), out=cu.reshape(D3Q19.Q, -1))
+        np.matmul(c, u.reshape(3, -1), out=cu.reshape(D3Q19.Q, -1))
     if cF is None:
-        cF = np.tensordot(_C, force, axes=([1], [0]))
+        cF = np.tensordot(c, force, axes=([1], [0]))
     else:
-        np.matmul(_C, force.reshape(3, -1), out=cF.reshape(D3Q19.Q, -1))
+        np.matmul(c, force.reshape(3, -1), out=cF.reshape(D3Q19.Q, -1))
     if uF is None:
         uF = (u * force).sum(axis=0)
     else:
@@ -195,10 +229,10 @@ def guo_source(
     cF /= cs2
     out += cF
     if np.isscalar(tau) or np.ndim(tau) == 0:
-        out *= (1.0 - 0.5 / tau) * D3Q19.w[:, None, None, None]
+        out *= (1.0 - 0.5 / tau) * w[:, None, None, None]
     else:
         out *= 1.0 - 0.5 / tau
-        out *= D3Q19.w[:, None, None, None]
+        out *= w[:, None, None, None]
     return out
 
 

@@ -32,14 +32,26 @@ class Grid:
         Physical coordinates of node (0, 0, 0) in the global frame [m].
     spacing:
         Physical lattice spacing of this level [m].
+    dtype:
+        Compute dtype of the Eulerian state (``f``, ``f_post``,
+        ``force``): ``"float32"`` or ``"float64"``.  ``None`` resolves
+        via the ``REPRO_DTYPE`` environment variable (which also
+        overrides an explicit argument — see
+        :func:`repro.kernels.resolve_dtype`), defaulting to float64.
+        Geometry (``origin``, coordinates) and the Lagrangian membrane
+        state stay float64 regardless.
     """
 
     shape: Tuple[int, int, int]
     tau: float | np.ndarray
     origin: np.ndarray = field(default_factory=lambda: np.zeros(3))
     spacing: float = 1.0
+    dtype: object = None
 
     def __post_init__(self) -> None:
+        from ..kernels import resolve_dtype  # deferred: import order
+
+        self.dtype = resolve_dtype(self.dtype)
         nx, ny, nz = self.shape
         if min(self.shape) < 1:
             raise ValueError(f"grid shape must be positive, got {self.shape}")
@@ -50,12 +62,12 @@ class Grid:
         if isinstance(self.tau, np.ndarray) and self.tau.shape != self.shape:
             raise ValueError("tau field must match the grid shape")
         self.origin = np.asarray(self.origin, dtype=np.float64)
-        self.f = np.empty((D3Q19.Q, nx, ny, nz), dtype=np.float64)
+        self.f = np.empty((D3Q19.Q, nx, ny, nz), dtype=self.dtype)
         #: Post-collision scratch buffer, reused every step to avoid churn.
         self.f_post = np.empty_like(self.f)
         self.solid = np.zeros(self.shape, dtype=bool)
         #: Body-force density per node (3, nx, ny, nz), lattice units.
-        self.force = np.zeros((3, nx, ny, nz), dtype=np.float64)
+        self.force = np.zeros((3, nx, ny, nz), dtype=self.dtype)
         #: Monotonic counter bumped whenever ``f`` changes; consumers
         #: (the solver's moments cache) key derived state on it.
         self.f_version = 0

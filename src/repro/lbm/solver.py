@@ -76,9 +76,9 @@ class LBMSolver:
         self._kernel_table = get_kernel_table(self.kernels)
         self.step_count = 0
         # Last macroscopic fields, refreshed each step (pre-collision values).
-        self.rho = np.ones(grid.shape)
-        self.u = np.zeros((3,) + grid.shape)
-        self._scratch = CollisionScratch(grid.shape)
+        self.rho = np.ones(grid.shape, dtype=grid.dtype)
+        self.u = np.zeros((3,) + grid.shape, dtype=grid.dtype)
+        self._scratch = CollisionScratch(grid.shape, dtype=grid.dtype)
         #: ``grid.f_version`` the cached (rho, mom) moments belong to.
         self._moments_version: int | None = None
 

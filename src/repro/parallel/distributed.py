@@ -58,6 +58,11 @@ class DistributedLBMSolver:
         Kernels backend for the rank-local collide/stream
         (``"numpy"`` | ``"numba"``; ``None`` resolves via
         ``REPRO_KERNELS``, which also overrides an explicit argument).
+    dtype:
+        Compute dtype for the rank-local distribution blocks
+        (``"float32"`` | ``"float64"``; ``None`` resolves via
+        ``REPRO_DTYPE``, which also overrides an explicit argument —
+        same policy as :class:`~repro.lbm.grid.Grid`).
 
     The processes backend holds OS resources (worker processes and
     shared-memory segments): call :meth:`close` when done, or use the
@@ -74,6 +79,7 @@ class DistributedLBMSolver:
         n_workers: int | None = None,
         halo_mode: str = "exchange",
         kernels: str | None = None,
+        dtype=None,
     ):
         self.shape = tuple(shape)
         self.tau = float(tau)
@@ -87,11 +93,13 @@ class DistributedLBMSolver:
         self.backend, self.n_workers = resolve_backend(
             backend, n_workers, n_tasks
         )
-        from ..kernels import resolve_kernels
+        from ..kernels import resolve_dtype, resolve_kernels
 
         self.kernels = resolve_kernels(kernels)
+        self.dtype = resolve_dtype(dtype)
         self.blocks = RankBlocks(
-            self.decomp, shared=(self.backend == "processes")
+            self.decomp, shared=(self.backend == "processes"),
+            dtype=self.dtype,
         )
         #: Per-rank padded local arrays (kept name-compatible with the
         #: original virtual runtime; shared-memory views under processes).
@@ -123,7 +131,7 @@ class DistributedLBMSolver:
 
     def gather(self) -> np.ndarray:
         """Reassemble the global distribution array from all ranks."""
-        out = np.empty((D3Q19.Q,) + self.shape)
+        out = np.empty((D3Q19.Q,) + self.shape, dtype=self.dtype)
         for rank, arr in enumerate(self.locals):
             b = self.decomp.block(rank)
             out[:, b.lo[0] : b.hi[0], b.lo[1] : b.hi[1], b.lo[2] : b.hi[2]] = arr[

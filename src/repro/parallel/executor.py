@@ -116,9 +116,11 @@ class RankBlocks:
     as a safety net, by a GC finalizer.
     """
 
-    def __init__(self, decomp: BlockDecomposition, shared: bool = False):
+    def __init__(self, decomp: BlockDecomposition, shared: bool = False,
+                 dtype=np.float64):
         self.decomp = decomp
         self.shared = bool(shared)
+        self.dtype = np.dtype(dtype)
         self.f: list[np.ndarray] = []
         self.post: list[np.ndarray] = []
         self.segment_names: list[str] | None = [] if shared else None
@@ -127,14 +129,15 @@ class RankBlocks:
             shape = (2,) + _padded_shape(decomp, rank)
             if shared:
                 shm = shared_memory.SharedMemory(
-                    create=True, size=int(np.prod(shape)) * 8
+                    create=True,
+                    size=int(np.prod(shape)) * self.dtype.itemsize,
                 )
                 self._segments.append(shm)
                 self.segment_names.append(shm.name)
-                pair = np.ndarray(shape, dtype=np.float64, buffer=shm.buf)
+                pair = np.ndarray(shape, dtype=self.dtype, buffer=shm.buf)
                 pair.fill(0.0)
             else:
-                pair = np.zeros(shape, dtype=np.float64)
+                pair = np.zeros(shape, dtype=self.dtype)
             self.f.append(pair[0])
             self.post.append(pair[1])
         self._finalizer = weakref.finalize(
@@ -174,12 +177,15 @@ class ChunkRunner:
         table = get_kernel_table(self.kernels)
         self._collide = table["collide_bgk"]
         self._stream_padded = table["stream_pull_padded"]
-        self._scratch: dict[tuple[int, ...], CollisionScratch] = {}
+        self._scratch: dict[tuple, CollisionScratch] = {}
 
-    def _scratch_for(self, shape: tuple[int, ...]) -> CollisionScratch:
-        sc = self._scratch.get(shape)
+    def _scratch_for(
+        self, shape: tuple[int, ...], dtype=np.float64
+    ) -> CollisionScratch:
+        key = (shape, np.dtype(dtype))
+        sc = self._scratch.get(key)
         if sc is None:
-            sc = self._scratch[shape] = CollisionScratch(shape)
+            sc = self._scratch[key] = CollisionScratch(shape, dtype=dtype)
         return sc
 
     def run(
@@ -213,7 +219,9 @@ class ChunkRunner:
                     f_arrs[r],
                     self.tau,
                     out=post_arrs[r],
-                    scratch=self._scratch_for(f_arrs[r].shape[1:]),
+                    scratch=self._scratch_for(
+                        f_arrs[r].shape[1:], f_arrs[r].dtype
+                    ),
                 )
             elif phase == "halo_f":
                 transfers.extend(fill_rank_halo(r, f_arrs, self.decomp))
@@ -341,7 +349,7 @@ def _attach_segment(name: str) -> shared_memory.SharedMemory:
 
 
 def _worker_main(conn, ranks, segment_names, decomp, tau,
-                 kernels=None) -> None:
+                 kernels=None, dtype=np.float64) -> None:
     """Worker loop: attach the shared blocks, serve phase commands.
 
     One worker is pinned to its rank chunk for the life of the run; the
@@ -361,7 +369,7 @@ def _worker_main(conn, ranks, segment_names, decomp, tau,
             segments.append(shm)
             pair = np.ndarray(
                 (2,) + _padded_shape(decomp, rank),
-                dtype=np.float64,
+                dtype=dtype,
                 buffer=shm.buf,
             )
             pairs.append(pair)
@@ -438,7 +446,7 @@ class ProcessExecutor:
             proc = ctx.Process(
                 target=_worker_main,
                 args=(child_conn, ranks, blocks.segment_names,
-                      blocks.decomp, tau, kernels),
+                      blocks.decomp, tau, kernels, blocks.dtype),
                 daemon=True,
                 name=f"repro-rank-{ranks[0]}-{ranks[-1]}",
             )

@@ -56,7 +56,6 @@ import numpy as np
 from ..ibm.coupling import make_stencil
 from ..ibm.kernels import KERNELS, DeltaKernel
 from ..kernels import get_kernel_table, resolve_kernels
-from ..membrane.constraints import area_volume_forces
 from ..telemetry import get_telemetry
 from .executor import BACKENDS, _shutdown_workers, _unlink_segments
 
@@ -204,6 +203,7 @@ class FSIWorker:
         """
         skalak = self._kt["skalak_forces"]
         bending = self._kt["bending_forces"]
+        area_volume = self._kt["area_volume_forces"]
         for spec, c0, c1 in self.force_tasks:
             ref = spec.reference
             lo = spec.start + c0 * spec.n_vertices
@@ -211,7 +211,7 @@ class FSIWorker:
             batch = verts[lo:hi].reshape(c1 - c0, spec.n_vertices, 3)
             f = skalak(batch, ref, spec.shear_modulus, spec.skalak_C)
             f += bending(batch, ref.quads, ref.theta0, spec.k_bend)
-            f += area_volume_forces(
+            f += area_volume(
                 batch, ref.faces, ref.area0, ref.volume0,
                 spec.k_area, spec.k_volume,
             )
@@ -430,6 +430,7 @@ class ParallelFSIRuntime:
     ):
         self.backend, self.n_workers = resolve_fsi_backend(backend, n_workers)
         self.kernels = resolve_kernels(kernels)
+        self._kt = get_kernel_table(self.kernels)
         self.kernel = KERNELS[kernel] if isinstance(kernel, str) else kernel
         if self.backend == "processes" and self.kernel.name not in KERNELS:
             # Worker processes rebuild the kernel by name (callables may
@@ -684,7 +685,7 @@ class ParallelFSIRuntime:
                 self._run("membrane_forces", verts, forces, label="forces")
         forces += contact_forces(
             verts, ordinals, manager.contact_cutoff,
-            manager.contact_stiffness,
+            manager.contact_stiffness, table=self._kt,
         )
         return forces, verts, cells
 

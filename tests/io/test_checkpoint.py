@@ -55,6 +55,59 @@ def test_restored_cells_have_working_mechanics(tmp_path):
         assert np.isfinite(f).all()
 
 
+def test_float32_roundtrip_bit_exact(tmp_path, rng):
+    """float32 fields restore bit-exact (and silently) at dtype=float32."""
+    import warnings
+
+    path = tmp_path / "ck.npz"
+    f_coarse = rng.random((19, 4, 4, 4)).astype(np.float32)
+    f_fine = rng.random((19, 6, 6, 6)).astype(np.float32)
+    save_checkpoint(path, step=9, f_coarse=f_coarse, f_fine=f_fine)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        out = load_checkpoint(path, dtype="float32")
+    assert out["f_coarse"].dtype == np.float32
+    assert np.array_equal(out["f_coarse"], f_coarse)
+    assert np.array_equal(out["f_fine"], f_fine)
+
+
+def test_float64_to_float32_restore_warns(tmp_path, rng):
+    """Restoring a double-precision checkpoint into a float32 run is a
+    deliberate precision loss and says so."""
+    path = tmp_path / "ck.npz"
+    f_coarse = rng.random((19, 4, 4, 4))
+    save_checkpoint(path, step=9, f_coarse=f_coarse)
+    with pytest.warns(RuntimeWarning, match="loses precision"):
+        out = load_checkpoint(path, dtype="float32")
+    assert out["f_coarse"].dtype == np.float32
+    assert np.array_equal(out["f_coarse"], f_coarse.astype(np.float32))
+
+
+def test_same_dtype_restore_is_silent(tmp_path, rng):
+    import warnings
+
+    path = tmp_path / "ck.npz"
+    f_coarse = rng.random((19, 4, 4, 4))
+    save_checkpoint(path, step=9, f_coarse=f_coarse)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        out = load_checkpoint(path)
+    assert out["f_coarse"].dtype == np.float64
+    assert np.array_equal(out["f_coarse"], f_coarse)
+
+
+def test_restore_dtype_follows_env(tmp_path, rng, monkeypatch):
+    """REPRO_DTYPE steers the restore dtype exactly like Grid(dtype=)."""
+    from repro.kernels import DTYPE_ENV_VAR
+
+    path = tmp_path / "ck.npz"
+    save_checkpoint(path, step=1, f_coarse=rng.random((19, 2, 2, 2)))
+    monkeypatch.setenv(DTYPE_ENV_VAR, "float32")
+    with pytest.warns(RuntimeWarning, match="loses precision"):
+        out = load_checkpoint(path)
+    assert out["f_coarse"].dtype == np.float32
+
+
 def test_extra_payload(tmp_path):
     path = tmp_path / "ck.npz"
     save_checkpoint(

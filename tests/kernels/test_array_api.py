@@ -1,0 +1,99 @@
+"""Array-API backend contracts: residency identity and dtype policy.
+
+On the host numpy namespace the device-residency helpers are strict
+identities (no copies, no allocation churn) — that property is what lets
+``arrayapi:numpy`` stay bitwise against the reference kernels and makes
+the CuPy path a pure residency swap.  ``resolve_dtype`` implements the
+env-wins compute-dtype precedence shared with ``resolve_kernels``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels import (
+    DEFAULT_DTYPE,
+    DTYPE_ENV_VAR,
+    resolve_dtype,
+)
+from repro.kernels import array_api_backend as aa
+from repro.kernels import numpy_backend as ref
+
+
+# ----------------------------------------------------------------------
+# Device residency: identity on the host namespace
+
+
+def test_to_device_is_identity_on_numpy():
+    a = np.arange(12.0).reshape(3, 4)
+    assert aa.to_device(a) is a
+    assert aa.to_device(a, "arrayapi:numpy") is a
+
+
+def test_sync_host_is_identity_on_numpy():
+    a = np.arange(5.0)
+    assert aa.sync_host(a) is a
+    host = np.zeros(5)
+    out = aa.sync_host(a, host)
+    assert out is host
+    assert np.array_equal(host, a)
+
+
+def test_device_residency_upload_download_identity():
+    res = aa.DeviceResidency(np)
+    a = np.arange(6.0)
+    assert res.upload(a) is a
+    host = np.empty(6)
+    assert res.download(a, host) is host
+    assert np.array_equal(host, a)
+
+
+# ----------------------------------------------------------------------
+# Bitwise pinning of the dispatch-critical kernel at both compute dtypes
+
+
+@pytest.mark.parametrize("dtype", [np.float64, np.float32])
+def test_collide_bgk_bitwise_vs_reference(dtype):
+    rng = np.random.default_rng(11)
+    f = (1.0 / 19.0 + 0.01 * rng.random((19, 4, 4, 3))).astype(dtype)
+    force = (1e-3 * rng.standard_normal((3, 4, 4, 3))).astype(dtype)
+    want, rho_w, u_w = ref.collide_bgk(f, 0.8, force)
+    got, rho_g, u_g = aa.collide_bgk(f, 0.8, force)
+    assert got.dtype == dtype
+    assert np.array_equal(got, want)
+    assert np.array_equal(rho_g, rho_w)
+    assert np.array_equal(u_g, u_w)
+
+
+# ----------------------------------------------------------------------
+# resolve_dtype precedence (env wins, same policy as resolve_kernels)
+
+
+def test_resolve_dtype_default(monkeypatch):
+    monkeypatch.delenv(DTYPE_ENV_VAR, raising=False)
+    assert resolve_dtype() == np.dtype(DEFAULT_DTYPE) == np.float64
+
+
+def test_resolve_dtype_ctor_arg(monkeypatch):
+    monkeypatch.delenv(DTYPE_ENV_VAR, raising=False)
+    assert resolve_dtype("float32") == np.float32
+    assert resolve_dtype(np.float32) == np.float32
+    assert resolve_dtype(np.dtype(np.float64)) == np.float64
+
+
+def test_resolve_dtype_env_wins_over_arg(monkeypatch):
+    monkeypatch.setenv(DTYPE_ENV_VAR, "float32")
+    assert resolve_dtype("float64") == np.float32
+
+
+def test_resolve_dtype_rejects_non_compute_dtypes(monkeypatch):
+    monkeypatch.delenv(DTYPE_ENV_VAR, raising=False)
+    with pytest.raises(ValueError, match="float16"):
+        resolve_dtype("float16")
+    with pytest.raises(ValueError):
+        resolve_dtype("int32")
+
+
+def test_resolve_dtype_rejects_bad_env(monkeypatch):
+    monkeypatch.setenv(DTYPE_ENV_VAR, "float16")
+    with pytest.raises(ValueError, match=DTYPE_ENV_VAR):
+        resolve_dtype("float64")

@@ -1,11 +1,13 @@
 """Golden-trajectory matrix over kernels backends × executor backends.
 
 The reference is the serial stepper on the NumPy kernels.  Every
-combination of kernels backend ("numpy" | "numba" when installed) and
-FSI executor backend ("serial" | "threads" | "processes") must reproduce
-it: bitwise for the numpy kernels (the dispatch layer is a pure
-refactor), within 1e-12 for numba (compiled loops reassociate the
-moment/force reductions; see docs/performance.md, "Compiled kernels").
+combination of kernels backend ("numpy" | "arrayapi:numpy" | "numba"
+when installed) and FSI executor backend ("serial" | "threads" |
+"processes") must reproduce it: bitwise for the numpy kernels (the
+dispatch layer is a pure refactor) and for arrayapi:numpy (the
+device-portable kernels are pinned bitwise on the host namespace),
+within 1e-12 for numba (compiled loops reassociate the moment/force
+reductions; see docs/performance.md, "Compiled kernels").
 The mid-run population-change leg exercises the stencil rebuild and
 shared-memory remap path under both kernels backends.
 
@@ -31,8 +33,12 @@ SUBDIVISIONS = 1
 SEED = 7
 N_STEPS = 16
 
+#: Backends held bitwise to the reference (pure dispatch refactors).
+BITWISE_BACKENDS = ("numpy", "arrayapi:numpy")
+
 KERNELS_BACKENDS = [
     pytest.param("numpy", id="numpy"),
+    pytest.param("arrayapi:numpy", id="arrayapi"),
     pytest.param(
         "numba",
         id="numba",
@@ -99,8 +105,10 @@ def _extra_cell(st: FSIStepper):
 
 
 def _assert_matches(got, want, kernels_backend, label):
-    if kernels_backend == "numpy":
-        assert np.array_equal(got, want), f"{label}: numpy leg must be bitwise"
+    if kernels_backend in BITWISE_BACKENDS:
+        assert np.array_equal(got, want), (
+            f"{label}: {kernels_backend} leg must be bitwise"
+        )
     else:
         scale = max(np.abs(want).max(), 1e-300)
         rel = np.abs(np.asarray(got) - np.asarray(want)).max() / scale
@@ -166,6 +174,32 @@ def test_population_change_midrun_matrix(
         verts, _, _ = st.cells.packed_vertices()
         _assert_matches(verts, ref_verts, kernels_backend, "vertices")
         _assert_matches(st.grid.f, ref_f, kernels_backend, "populations")
+
+
+def test_float32_golden_trajectory_tolerance(
+    reference_trajectory, monkeypatch
+):
+    """REPRO_DTYPE=float32 tracks the float64 reference to single-precision
+    tolerance: the Eulerian state computes in float32 while the Lagrangian
+    membrane state stays float64 (docs/performance.md, "Compute dtype")."""
+    from repro.kernels import DTYPE_ENV_VAR
+
+    ref_snaps, ref_f = reference_trajectory
+    monkeypatch.setenv(ENV_VAR, "numpy")
+    monkeypatch.setenv(DTYPE_ENV_VAR, "float32")
+    with build_stepper(backend="serial") as st:
+        assert st.grid.dtype == np.float32
+        snaps, f = _trajectory(st, N_STEPS)
+    assert f.dtype == np.float32
+    assert snaps[-1].dtype == np.float64  # Lagrangian stays double
+    assert len(snaps) == len(ref_snaps)
+    for k, (got, want) in enumerate(zip(snaps, ref_snaps)):
+        scale = np.abs(want).max()
+        rel = np.abs(got - want).max() / scale
+        assert rel < 1e-3, f"vertices@snap{k}: rel diff {rel:.3e}"
+    scale = np.abs(ref_f).max()
+    rel = np.abs(f.astype(np.float64) - ref_f).max() / scale
+    assert rel < 1e-3, f"populations: rel diff {rel:.3e}"
 
 
 def test_distributed_solver_accepts_kernels(monkeypatch):

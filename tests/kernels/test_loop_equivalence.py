@@ -13,9 +13,11 @@ import numpy as np
 import pytest
 
 from repro.ibm.coupling import make_stencil
+from repro.kernels import array_api_backend as aa
 from repro.kernels import numba_backend as nb
 from repro.kernels import numpy_backend as ref
 from repro.membrane import make_rbc
+from repro.membrane.constraints import face_areas
 
 SHAPE = (5, 4, 3)
 RNG = np.random.default_rng(42)
@@ -116,6 +118,78 @@ def test_bending_forces_match_reference():
     got = nb.bending_forces(v, r.quads, r.theta0, 1e-19)
     assert got.shape == want.shape
     assert _rel(got, want) < 1e-12
+
+
+@pytest.mark.parametrize("backend", [nb, aa], ids=["numba", "arrayapi"])
+def test_area_volume_forces_match_reference(backend):
+    v, r = _cell()
+    want = ref.area_volume_forces(v, r.faces, r.area0, r.volume0,
+                                  1e-5, 1e-4)
+    got = backend.area_volume_forces(v, r.faces, r.area0, r.volume0,
+                                     1e-5, 1e-4)
+    assert got.shape == want.shape
+    assert _rel(got, want) < 1e-12
+
+
+@pytest.mark.parametrize("backend", [nb, aa], ids=["numba", "arrayapi"])
+def test_area_volume_forces_batched(backend):
+    v, r = _cell()
+    vb = np.stack([v, v * 1.01])
+    want = ref.area_volume_forces(vb, r.faces, r.area0, r.volume0,
+                                  1e-5, 1e-4)
+    got = backend.area_volume_forces(vb, r.faces, r.area0, r.volume0,
+                                     1e-5, 1e-4)
+    assert got.shape == want.shape
+    assert _rel(got, want) < 1e-12
+
+
+@pytest.mark.parametrize("backend", [nb, aa], ids=["numba", "arrayapi"])
+def test_local_area_forces_match_reference(backend):
+    v, r = _cell()
+    a0 = face_areas(np.asarray(_cell_reference_vertices(), dtype=np.float64),
+                    r.faces)
+    want = ref.local_area_forces(v, r.faces, a0, 1e-5)
+    got = backend.local_area_forces(v, r.faces, a0, 1e-5)
+    assert got.shape == want.shape
+    assert _rel(got, want) < 1e-12
+
+
+def _cell_reference_vertices():
+    return make_rbc(np.zeros(3), global_id=0, subdivisions=1).vertices
+
+
+# ----------------------------------------------------------------------
+# Contact + subgrid (exact comparisons: bitwise on every backend)
+
+
+def _contact_pairs(n=40, n_pairs=60):
+    verts = 1e-6 * RNG.random((n, 3))
+    i = RNG.integers(0, n, size=n_pairs)
+    j = (i + 1 + RNG.integers(0, n - 1, size=n_pairs)) % n
+    return verts, i.astype(np.intp), j.astype(np.intp)
+
+
+@pytest.mark.parametrize("backend", [nb, aa], ids=["numba", "arrayapi"])
+def test_contact_scatter_bitwise(backend):
+    verts, i, j = _contact_pairs()
+    out_ref = np.zeros_like(verts)
+    out_got = np.zeros_like(verts)
+    ref.contact_scatter(verts, i, j, 0.5e-6, 2.0e-10, out_ref)
+    backend.contact_scatter(verts, i, j, 0.5e-6, 2.0e-10, out_got)
+    assert out_ref.any()  # the pair set must actually trigger contacts
+    assert np.array_equal(out_got, out_ref)
+
+
+@pytest.mark.parametrize("backend", [nb, aa], ids=["numba", "arrayapi"])
+def test_subgrid_query_bitwise(backend):
+    stored = 1e-6 * RNG.random((30, 3))
+    points = 1e-6 * RNG.random((12, 3))
+    slot = RNG.integers(0, 30, size=80).astype(np.intp)
+    probe = RNG.integers(0, 12, size=80).astype(np.intp)
+    want = ref.subgrid_query(stored, slot, points, probe, 0.4e-6)
+    got = backend.subgrid_query(stored, slot, points, probe, 0.4e-6)
+    assert want.any() and not want.all()  # non-trivial hit mask
+    assert np.array_equal(got, want)
 
 
 # ----------------------------------------------------------------------

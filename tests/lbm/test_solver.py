@@ -12,8 +12,9 @@ def test_periodic_mass_momentum_conserved(rng):
     s = LBMSolver(g, [])
     m0, p0 = s.mass(), s.momentum()
     s.step(100)
+    atol = 1e-10 if g.dtype == np.float64 else 5e-4
     assert np.isclose(s.mass(), m0)
-    assert np.allclose(s.momentum(), p0, atol=1e-10)
+    assert np.allclose(s.momentum(), p0, atol=atol)
 
 
 def test_uniform_flow_is_invariant(rng):
@@ -35,7 +36,8 @@ def test_body_force_accelerates_periodic_fluid():
     _, u = s.macroscopic()
     # Momentum grows by F per step; the Guo measurement adds the half-force
     # shift, so after n steps u = (n + 1/2) F / rho.
-    assert np.allclose(u[1], 10.5 * 1e-5, rtol=1e-6)
+    rtol = 1e-6 if g.dtype == np.float64 else 5e-3
+    assert np.allclose(u[1], 10.5 * 1e-5, rtol=rtol)
 
 
 def test_pre_collision_hook_called_each_step():

@@ -102,6 +102,51 @@ def test_share_mode_flags_disproportionate_phase():
     assert report["regressions"][0]["share_delta"] > 0.1
 
 
+def test_normalize_config_fills_defaults_and_drops_measurements():
+    cfg = reg.normalize_config(
+        {"shape": [12, 12, 12], "jit_compile_s": {"collide_bgk": 1.2}}
+    )
+    assert cfg == {
+        "shape": [12, 12, 12],
+        "kernels": "numpy",
+        "dtype": "float64",
+    }
+    assert reg.normalize_config(None) == {"kernels": "numpy",
+                                          "dtype": "float64"}
+
+
+def test_configs_match_across_artifact_generations():
+    """An old artifact (jit_compile_s in config, no kernels/dtype keys)
+    matches a new default-config artifact: the measurement key is dropped
+    and the workload keys default."""
+    old = _artifact(
+        BASE_PHASES,
+        config={"shape": [12, 12, 12], "steps": 10,
+                "jit_compile_s": {"collide_bgk": 0.9}},
+    )
+    new = _artifact(
+        BASE_PHASES,
+        config={"shape": [12, 12, 12], "steps": 10,
+                "kernels": "numpy", "dtype": "float64"},
+    )
+    assert reg.configs_match(old, new)
+
+
+def test_configs_differ_on_dtype():
+    a = _artifact(BASE_PHASES, config={"shape": [12, 12, 12],
+                                       "dtype": "float64"})
+    b = _artifact(BASE_PHASES, config={"shape": [12, 12, 12],
+                                       "dtype": "float32"})
+    assert not reg.configs_match(a, b)
+
+
+def test_configs_differ_on_kernels_backend():
+    a = _artifact(BASE_PHASES, config={"shape": [12, 12, 12]})
+    b = _artifact(BASE_PHASES, config={"shape": [12, 12, 12],
+                                       "kernels": "numba"})
+    assert not reg.configs_match(a, b)
+
+
 def test_comm_volume_checked_exactly_when_config_matches():
     base = _artifact(BASE_PHASES, cpu_count=1, extra={
         "curves": {"2": {"ms_per_step": 3.0, "bytes_per_step": 1000.0,

@@ -55,6 +55,26 @@ def test_shear_command(tmp_path, capsys):
     assert len(data) > 0
 
 
+def test_kernels_command(capsys):
+    assert main(["kernels"]) == 0
+    out = capsys.readouterr().out
+    assert "numpy" in out
+    assert "arrayapi:numpy" in out
+    assert "arrayapi:cupy" in out
+    assert "active" in out
+    assert "dtype" in out
+
+
+def test_kernels_command_warmup_and_flag(monkeypatch, capsys):
+    # main() publishes --kernels via REPRO_KERNELS; pin the pre-test
+    # state with monkeypatch so the mutation is rolled back afterwards.
+    monkeypatch.setenv("REPRO_KERNELS", "numpy")
+    assert main(["kernels", "--kernels", "arrayapi:numpy", "--warmup"]) == 0
+    out = capsys.readouterr().out
+    assert "--kernels" in out  # the selection source is reported
+    assert "warmup" in out
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["bogus"])
