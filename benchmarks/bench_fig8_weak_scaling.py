@@ -111,6 +111,10 @@ def main(argv=None) -> int:
                         choices=("serial", "threads", "processes"))
     parser.add_argument("--halo-mode", choices=("exchange", "recompute"),
                         default="exchange")
+    parser.add_argument("--halo-pack", action="store_true",
+                        help="direction-aware packed halo exchange")
+    parser.add_argument("--overlap", action="store_true",
+                        help="fused single-round-trip step pipeline")
     parser.add_argument("--steps", type=int, default=5, help="timed steps")
     parser.add_argument("--warmup", type=int, default=1, help="untimed steps")
     parser.add_argument("--out", type=Path, default=Path("BENCH_scaling.json"),
@@ -133,6 +137,7 @@ def main(argv=None) -> int:
                 n_workers=max(args.tasks) if backend != "serial" else None,
                 halo_mode=args.halo_mode,
                 steps=args.steps, warmup=args.warmup,
+                halo_pack=args.halo_pack, overlap=args.overlap,
             )
             weak["measured"][backend] = m
             for n, r in m["points"].items():
@@ -167,6 +172,8 @@ def main(argv=None) -> int:
         "tasks": list(args.tasks),
         "backends": list(args.backends),
         "halo_mode": args.halo_mode,
+        "halo_pack": bool(args.halo_pack),
+        "overlap": bool(args.overlap),
         "steps": args.steps,
         "warmup": args.warmup,
     }

@@ -61,6 +61,8 @@ DEFAULT_BACKEND = "numpy"
 #: inherit the numpy reference for the rest (see :func:`get_kernel_table`).
 KERNEL_NAMES = (
     "collide_bgk",
+    "collide_bgk_rim",
+    "collide_bgk_interior",
     "stream_pull",
     "stream_pull_padded",
     "skalak_forces",

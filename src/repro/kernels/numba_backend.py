@@ -49,6 +49,8 @@ except Exception:  # pragma: no cover - exercised where numba is absent
         return wrap
 
 
+from ..lbm.collision import collide_bgk_interior as _np_collide_interior
+from ..lbm.collision import collide_bgk_rim as _np_collide_rim
 from ..lbm.collision import moments as _np_moments
 from ..lbm.lattice import D3Q19
 
@@ -150,6 +152,26 @@ def collide_bgk(f, tau, force=None, out=None, scratch=None, moments_in=None):
     _collide_core(f, rho, mom, tau_field, tau_scalar, use_tau_field,
                   force_arr, use_force, out, u)
     return out, rho, u
+
+
+def collide_bgk_rim(f, tau, force=None, out=None, scratch_for=None,
+                    collide=None, moments_in=None):
+    """Rim-only collide driving the compiled :func:`collide_bgk` per slab."""
+    return _np_collide_rim(
+        f, tau, force=force, out=out, scratch_for=scratch_for,
+        collide=collide if collide is not None else collide_bgk,
+        moments_in=moments_in,
+    )
+
+
+def collide_bgk_interior(f, tau, force=None, out=None, scratch_for=None,
+                         collide=None, moments_in=None):
+    """Deep-interior collide driving the compiled :func:`collide_bgk`."""
+    return _np_collide_interior(
+        f, tau, force=force, out=out, scratch_for=scratch_for,
+        collide=collide if collide is not None else collide_bgk,
+        moments_in=moments_in,
+    )
 
 
 @njit(parallel=True, cache=True)
@@ -893,8 +915,19 @@ def warmup_calls():
         _spread_full_vec_core(w, vvals, ia, ia, ia, vec_field)
         _spread_full_scalar_core(w, vvals[:, 0], ia, ia, ia, scal_field)
 
+    fpad = np.full((_Q, 4, 4, 4), 1.0 / _Q)
+    outpad = np.empty_like(fpad)
+
+    def call_collide_rim():
+        collide_bgk_rim(fpad, 1.0, out=outpad)
+
+    def call_collide_interior():
+        collide_bgk_interior(fpad, 1.0, out=outpad)
+
     return [
         ("collide_bgk", call_collide),
+        ("collide_bgk_rim", call_collide_rim),
+        ("collide_bgk_interior", call_collide_interior),
         ("stream_pull", lambda: _stream_core(f, out)),
         ("stream_pull_padded", lambda: _stream_padded_core(f, out)),
         ("skalak_forces", call_membrane_skalak),
@@ -919,6 +952,8 @@ if NUMBA_AVAILABLE:
         "numba",
         {
             "collide_bgk": collide_bgk,
+            "collide_bgk_rim": collide_bgk_rim,
+            "collide_bgk_interior": collide_bgk_interior,
             "stream_pull": stream_pull,
             "stream_pull_padded": stream_pull_padded,
             "skalak_forces": skalak_forces,

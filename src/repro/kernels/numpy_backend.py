@@ -14,7 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..ibm.coupling import interpolate_with_stencil, spread_with_stencil
-from ..lbm.collision import collide_bgk
+from ..lbm.collision import collide_bgk, collide_bgk_interior, collide_bgk_rim
 from ..lbm.streaming import stream_pull, stream_pull_padded
 from ..membrane.bending import bending_forces
 from ..membrane.constraints import area_volume_forces
@@ -127,6 +127,8 @@ register_backend(
     "numpy",
     {
         "collide_bgk": collide_bgk,
+        "collide_bgk_rim": collide_bgk_rim,
+        "collide_bgk_interior": collide_bgk_interior,
         "stream_pull": stream_pull,
         "stream_pull_padded": stream_pull_padded,
         "skalak_forces": skalak_forces,

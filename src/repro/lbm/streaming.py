@@ -120,6 +120,25 @@ def stream_pull_padded(f_post: np.ndarray, out: np.ndarray) -> np.ndarray:
     return out
 
 
+def padded_upwind_solid_masks(solid_padded: np.ndarray) -> np.ndarray:
+    """Bounce-back masks for the interior of a one-node-padded block.
+
+    ``solid_padded`` is the rank-local solid map including its halo rim
+    (filled from the neighbors, or marked solid beyond a non-periodic
+    domain edge).  Returns a boolean (19, lx, ly, lz) array over the
+    block *interior*: entry ``[i, x]`` is True when the pull source
+    ``x - c_i`` is solid and ``x`` itself is fluid — exactly
+    :func:`upwind_solid_masks` restricted to this block, since the halo
+    carries the same values ``np.roll`` would wrap in.
+    """
+    shape = tuple(n - 2 for n in solid_padded.shape)
+    masks = np.zeros((D3Q19.Q,) + shape, dtype=bool)
+    for i in range(1, D3Q19.Q):
+        masks[i] = solid_padded[_PADDED_SEGMENTS[i]]
+    masks &= ~solid_padded[_INTERIOR][None]
+    return masks
+
+
 def upwind_solid_masks(solid: np.ndarray) -> np.ndarray:
     """Per-direction masks of nodes whose pull source is a solid node.
 

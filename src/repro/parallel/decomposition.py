@@ -50,6 +50,81 @@ def balanced_dims(n_tasks: int, shape: tuple[int, int, int]) -> tuple[int, int, 
     return best
 
 
+def weighted_splits(
+    length: int, parts: int, weight: np.ndarray | None
+) -> np.ndarray:
+    """Split plane positions balancing cumulative weight along one axis.
+
+    Places the ``parts - 1`` interior planes where the cumulative weight
+    crosses equal fractions of the total, then repairs strict
+    monotonicity (every part keeps at least one plane of cells).  A
+    ``None``, zero, or non-finite weight profile falls back to the
+    uniform ``np.linspace`` planes — bitwise the legacy decomposition.
+    """
+    if parts > length:
+        raise ValueError(f"cannot split {length} cells into {parts} parts")
+    uniform = np.linspace(0, length, parts + 1).astype(np.int64)
+    if weight is None or parts == 1:
+        return uniform
+    w = np.asarray(weight, dtype=np.float64)
+    if w.shape != (length,):
+        raise ValueError(
+            f"weight profile has length {w.shape}, axis has {length} cells"
+        )
+    total = float(w.sum())
+    if not np.isfinite(total) or total <= 0.0 or np.any(w < 0):
+        return uniform
+    cum = np.concatenate(([0.0], np.cumsum(w)))
+    targets = np.linspace(0.0, total, parts + 1)[1:-1]
+    cuts = np.searchsorted(cum, targets, side="left").astype(np.int64)
+    splits = np.empty(parts + 1, dtype=np.int64)
+    splits[0] = 0
+    splits[1:-1] = cuts
+    splits[-1] = length
+    # Repair strict monotonicity: forward pass guarantees >= 1 cell per
+    # part from the left, backward pass from the right (parts <= length
+    # makes both passes satisfiable simultaneously).
+    for i in range(1, parts):
+        if splits[i] <= splits[i - 1]:
+            splits[i] = splits[i - 1] + 1
+    for i in range(parts - 1, 0, -1):
+        if splits[i] >= splits[i + 1]:
+            splits[i] = splits[i + 1] - 1
+    return splits
+
+
+def _axis_weights(
+    shape: tuple[int, int, int], weights
+) -> list[np.ndarray | None]:
+    """Normalize a weights request into three per-axis 1-D profiles.
+
+    Accepts ``None`` (uniform), a 3-D array over the global lattice
+    (e.g. the fluid mask ``~solid`` — reduced to per-axis marginals), or
+    a sequence of three 1-D arrays / ``None`` entries.
+    """
+    if weights is None:
+        return [None, None, None]
+    if isinstance(weights, np.ndarray) and weights.ndim == 3:
+        if weights.shape != tuple(shape):
+            raise ValueError(
+                f"3-D weights shape {weights.shape} != lattice {shape}"
+            )
+        w = weights.astype(np.float64, copy=False)
+        return [
+            w.sum(axis=tuple(ax for ax in range(3) if ax != d))
+            for d in range(3)
+        ]
+    per_axis = list(weights)
+    if len(per_axis) != 3:
+        raise ValueError(
+            "weights must be None, a 3-D array, or three per-axis profiles"
+        )
+    return [
+        None if w is None else np.asarray(w, dtype=np.float64)
+        for w in per_axis
+    ]
+
+
 @dataclass(frozen=True)
 class _Block:
     rank: int
@@ -70,6 +145,15 @@ class BlockDecomposition:
         :func:`balanced_dims` unless ``dims`` is given.
     periodic:
         Per-axis periodicity (affects neighbor wrap-around).
+    weights:
+        Optional load profile placing the split planes by cumulative
+        weight instead of uniformly: a 3-D array over the global lattice
+        (e.g. the fluid mask ``~grid.solid`` — walls then stop inflating
+        the fluid-node count of wall-adjacent ranks) or three per-axis
+        1-D profiles.  ``None`` keeps the legacy uniform planes bitwise.
+        The process-grid *dims* are still chosen by
+        :func:`balanced_dims`' surface cost — weights move planes, not
+        the grid shape.
     """
 
     def __init__(
@@ -78,16 +162,24 @@ class BlockDecomposition:
         n_tasks: int,
         dims: tuple[int, int, int] | None = None,
         periodic: tuple[bool, bool, bool] = (True, True, True),
+        weights=None,
     ) -> None:
         self.shape = tuple(shape)
         self.dims = dims if dims is not None else balanced_dims(n_tasks, shape)
         if int(np.prod(self.dims)) != n_tasks:
             raise ValueError("dims do not multiply to the task count")
+        for d in range(3):
+            if self.dims[d] > self.shape[d]:
+                raise ValueError(
+                    f"dims {tuple(self.dims)} oversplit axis {d} of "
+                    f"shape {self.shape}"
+                )
         self.periodic = tuple(periodic)
         self.n_tasks = n_tasks
         self.blocks: list[_Block] = []
+        axis_w = _axis_weights(self.shape, weights)
         splits = [
-            np.linspace(0, self.shape[d], self.dims[d] + 1).astype(np.int64)
+            weighted_splits(self.shape[d], self.dims[d], axis_w[d])
             for d in range(3)
         ]
         rank = 0
@@ -98,6 +190,7 @@ class BlockDecomposition:
                     hi = (splits[0][i + 1], splits[1][j + 1], splits[2][k + 1])
                     self.blocks.append(_Block(rank, (i, j, k), lo, hi))
                     rank += 1
+        self.splits = splits
         self._rank_by_coords = {b.coords: b.rank for b in self.blocks}
 
     def block(self, rank: int) -> _Block:
@@ -147,3 +240,27 @@ class BlockDecomposition:
         local = self.local_shape(rank)
         padded = np.prod([local[d] + 2 * width for d in range(3)])
         return int(padded - np.prod(local))
+
+    def rebalance_hint(
+        self, seconds_by_rank: dict[int, float]
+    ) -> list[np.ndarray]:
+        """Fold measured per-rank seconds into per-axis split weights.
+
+        Each rank's measured seconds (e.g. summed
+        ``DistributedLBMSolver.rank_phase_seconds``) are spread uniformly
+        over its extent on every axis; the returned three 1-D profiles
+        feed the ``weights`` parameter of a fresh decomposition, moving
+        planes toward the slow ranks.  Ranks missing from the dict
+        contribute nothing (their cells keep whatever weight overlapping
+        ranks give them).
+        """
+        hints = [np.zeros(self.shape[d], dtype=np.float64) for d in range(3)]
+        for rank, seconds in seconds_by_rank.items():
+            b = self.blocks[rank]
+            s = float(seconds)
+            if s <= 0.0:
+                continue
+            for d in range(3):
+                extent = b.hi[d] - b.lo[d]
+                hints[d][b.lo[d] : b.hi[d]] += s / extent
+        return hints

@@ -1,25 +1,43 @@
 """Distributed LBM solver over the parallel rank runtime.
 
 Each rank owns a block of the global lattice in a one-node-padded local
-array; a step is three barrier-separated rank-parallel phases run by an
-executor backend (``serial`` | ``threads`` | ``processes``; see
-:mod:`repro.parallel.executor`).  Two halo modes realize the same step:
+array; a step is run by an executor backend (``serial`` | ``threads`` |
+``processes``; see :mod:`repro.parallel.executor`) in one of two
+pipelines:
+
+* **barriered** (default) — three barrier-separated rank-parallel
+  phases (collide, halo, stream);
+* **fused** (``overlap=True`` / ``REPRO_DIST_OVERLAP``) — one executor
+  round-trip per step with a single worker-side barrier: ranks collide
+  their one-node rim first, the rim halo ships while interior collide
+  proceeds, then stream runs.
+
+Two halo modes realize the same step:
 
 * ``exchange``  — collide, then ship post-collision halo layers from
-  neighbors (the classic exchange the original virtual runtime did);
+  neighbors; with ``halo_pack=True`` / ``REPRO_HALO_PACK`` only the
+  populations the pull stream actually reads are shipped (5 per face,
+  1 per edge — a ~3-4x volume cut, see
+  :data:`repro.parallel.halo.PACKED_QS`);
 * ``recompute`` — pre-exchange the *pre-collision* ``f`` rim, then
   redundantly collide the one-node ghost rim locally (the paper's
   Section 2.4.4 recompute-instead-of-communicate trick: trade a sliver
-  of duplicate flops for never shipping post-collision data).
+  of duplicate flops for never shipping post-collision data).  The
+  ghost collide couples all 19 populations, so this mode keeps the
+  full-``f`` rim exchange regardless of ``halo_pack``.
 
-For a fully periodic lattice every backend × halo-mode combination
-reproduces the single-grid solver bit-for-bit (asserted in the test
-suite), and the :class:`~repro.parallel.halo.HaloAccountant` counters
-measure exactly the communication volume a real MPI run would ship —
-the quantity the strong-scaling breakdown of Fig. 7 hinges on.
+For a fully periodic lattice every backend × halo-mode × packing ×
+overlap combination reproduces the single-grid solver bit-for-bit
+(asserted in the test suite) — with walls (``solid=``), bitwise on the
+fluid nodes for non-periodic decompositions too — and the
+:class:`~repro.parallel.halo.HaloAccountant` counters measure exactly
+the communication volume a real MPI run would ship — the quantity the
+strong-scaling breakdown of Fig. 7 hinges on.
 """
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 
@@ -32,14 +50,55 @@ from .halo import HaloAccountant
 #: Supported halo handling modes.
 HALO_MODES = ("exchange", "recompute")
 
+#: Environment variable forcing direction-aware halo packing process-wide.
+ENV_HALO_PACK = "REPRO_HALO_PACK"
+
+#: Environment variable forcing the fused (overlapped) step pipeline.
+ENV_DIST_OVERLAP = "REPRO_DIST_OVERLAP"
+
+_TRUTHY = frozenset(("1", "true", "yes", "on"))
+_FALSY = frozenset(("0", "false", "no", "off"))
+
+
+def _resolve_env_flag(env_var: str, arg: bool | None) -> bool:
+    """Boolean knob resolution, ``REPRO_KERNELS`` precedence: env wins.
+
+    The environment variable, when set (and non-empty), **wins over**
+    the constructor argument, so a CI leg or an operator can force every
+    solver in a process onto one configuration without touching call
+    sites; unset/empty env falls back to the argument (default False).
+    """
+    env = os.environ.get(env_var)
+    if env:
+        value = env.strip().lower()
+        if value in _TRUTHY:
+            return True
+        if value in _FALSY:
+            return False
+        raise ValueError(
+            f"invalid {env_var}={env!r}; use one of "
+            f"{sorted(_TRUTHY)} / {sorted(_FALSY)}"
+        )
+    return bool(arg) if arg is not None else False
+
+
+def resolve_halo_pack(halo_pack: bool | None = None) -> bool:
+    """Resolve the direction-aware halo packing knob (env wins)."""
+    return _resolve_env_flag(ENV_HALO_PACK, halo_pack)
+
+
+def resolve_dist_overlap(overlap: bool | None = None) -> bool:
+    """Resolve the fused-step-pipeline knob (env wins)."""
+    return _resolve_env_flag(ENV_DIST_OVERLAP, overlap)
+
 
 class DistributedLBMSolver:
-    """Periodic LBM stepped as ``n_tasks`` cooperating ranks.
+    """LBM lattice stepped as ``n_tasks`` cooperating ranks.
 
     Parameters
     ----------
     shape:
-        Global lattice shape (fully periodic).
+        Global lattice shape (periodic unless ``periodic`` says not).
     tau:
         Uniform relaxation time.
     n_tasks:
@@ -63,6 +122,29 @@ class DistributedLBMSolver:
         (``"float32"`` | ``"float64"``; ``None`` resolves via
         ``REPRO_DTYPE``, which also overrides an explicit argument —
         same policy as :class:`~repro.lbm.grid.Grid`).
+    dims:
+        Optional explicit process grid ``(px, py, pz)``; ``None`` picks
+        the surface-minimizing factorization.
+    periodic:
+        Per-axis periodicity of the *decomposition*: a non-periodic axis
+        has no wraparound neighbors and its outward halo is treated as
+        wall (combine with an enclosing ``solid`` shell for a physical
+        no-slip domain).
+    solid:
+        Optional global boolean wall map; walls get halfway bounce-back
+        after every stream, matching the single-grid
+        :class:`~repro.lbm.boundaries.BounceBackWalls` bitwise.
+    weighted_split:
+        Place split planes by cumulative *fluid*-node count (from
+        ``~solid``) instead of uniformly, equalizing per-rank collide
+        work in walled geometries.  No-op without ``solid``.
+    halo_pack:
+        Direction-aware halo packing (exchange mode only); ``None``
+        resolves via ``REPRO_HALO_PACK``, which **wins over** an
+        explicit argument (``REPRO_KERNELS`` precedence).
+    overlap:
+        Fused single-round-trip step pipeline; ``None`` resolves via
+        ``REPRO_DIST_OVERLAP`` (env wins, same precedence).
 
     The processes backend holds OS resources (worker processes and
     shared-memory segments): call :meth:`close` when done, or use the
@@ -80,6 +162,12 @@ class DistributedLBMSolver:
         halo_mode: str = "exchange",
         kernels: str | None = None,
         dtype=None,
+        dims: tuple[int, int, int] | None = None,
+        periodic: tuple[bool, bool, bool] = (True, True, True),
+        solid: np.ndarray | None = None,
+        weighted_split: bool = False,
+        halo_pack: bool | None = None,
+        overlap: bool | None = None,
     ):
         self.shape = tuple(shape)
         self.tau = float(tau)
@@ -88,7 +176,22 @@ class DistributedLBMSolver:
                 f"unknown halo_mode {halo_mode!r}; pick one of {HALO_MODES}"
             )
         self.halo_mode = halo_mode
-        self.decomp = BlockDecomposition(shape, n_tasks)
+        self.halo_pack = resolve_halo_pack(halo_pack)
+        self.overlap = resolve_dist_overlap(overlap)
+        self.weighted_split = bool(weighted_split)
+        if solid is not None:
+            solid = np.asarray(solid, dtype=bool)
+            if solid.shape != self.shape:
+                raise ValueError(
+                    f"solid map shape {solid.shape} != lattice {self.shape}"
+                )
+        self.solid = solid
+        weights = None
+        if self.weighted_split and solid is not None:
+            weights = (~solid).astype(np.float64)
+        self.decomp = BlockDecomposition(
+            shape, n_tasks, dims=dims, periodic=periodic, weights=weights
+        )
         self.halo = HaloAccountant(self.decomp)
         self.backend, self.n_workers = resolve_backend(
             backend, n_workers, n_tasks
@@ -105,18 +208,56 @@ class DistributedLBMSolver:
         #: original virtual runtime; shared-memory views under processes).
         self.locals = self.blocks.f
         self._scratch = self.blocks.post
+        rank_solid = None
+        if solid is not None:
+            rank_solid = {
+                rank: self._padded_solid(rank)
+                for rank in range(n_tasks)
+            }
         self.executor = make_executor(
             self.backend, self.blocks, self.tau, self.n_workers,
-            kernels=self.kernels,
+            kernels=self.kernels, halo_mode=self.halo_mode,
+            pack=self.halo_pack, solid=rank_solid,
         )
         self.step_count = 0
         self._steps_at_reset = 0
         self.last_step_bytes = 0
         self.last_step_messages = 0
+        self.last_step_slabs = 0
+        self.last_overlap_efficiency = None
         #: Cumulative per-rank wall seconds by phase name.
         self.rank_phase_seconds: dict[str, dict[int, float]] = {
             "collide": {}, "halo": {}, "stream": {},
         }
+
+    # ------------------------------------------------------------------
+    def _padded_solid(self, rank: int) -> np.ndarray:
+        """Rank-local solid map including the one-node halo rim.
+
+        Periodic axes wrap the global map into the rim (the same values
+        ``np.roll`` would see); beyond a non-periodic domain edge the rim
+        is marked solid — outside the domain is wall.
+        """
+        b = self.decomp.block(rank)
+        idx = []
+        oob = []
+        for d in range(3):
+            ax = np.arange(b.lo[d] - 1, b.hi[d] + 1)
+            if self.decomp.periodic[d]:
+                oob.append(np.zeros(ax.size, dtype=bool))
+                ax = ax % self.shape[d]
+            else:
+                bad = (ax < 0) | (ax >= self.shape[d])
+                oob.append(bad)
+                ax = np.clip(ax, 0, self.shape[d] - 1)
+            idx.append(ax)
+        padded = self.solid[np.ix_(*idx)].copy()
+        padded[
+            oob[0][:, None, None]
+            | oob[1][None, :, None]
+            | oob[2][None, None, :]
+        ] = True
+        return padded
 
     # ------------------------------------------------------------------
     def scatter(self, f_global: np.ndarray) -> None:
@@ -150,9 +291,10 @@ class DistributedLBMSolver:
 
         With tracing on, the driver's open span id travels to the
         workers (through the Pipe for the processes backend) and their
-        returned ``(rank, parent, t0, t1)`` intervals are merged into
-        the driver's timeline as child spans — one track per rank, all
-        on the shared monotonic clock.
+        returned span intervals are merged into the driver's timeline as
+        child spans — one track per rank, all on the shared monotonic
+        clock.  Fused-step intervals carry their sub-phase name as a 5th
+        element so the timeline keeps per-phase resolution.
         """
         tracer = tel.tracer
         with tel.phase(phase_path):
@@ -160,43 +302,74 @@ class DistributedLBMSolver:
                 exec_phase, None if tracer is None else tracer.current_id
             )
         if tracer is not None:
-            for rank, parent, t0, t1 in res.spans:
-                tracer.add(exec_phase, t0, t1, parent_id=parent,
+            for span in res.spans:
+                if len(span) == 5:
+                    rank, parent, t0, t1, name = span
+                else:
+                    rank, parent, t0, t1 = span
+                    name = exec_phase
+                tracer.add(name, t0, t1, parent_id=parent,
                            rank=rank, category="worker")
         return res
+
+    def _record_comm(self, tel, res) -> None:
+        self.halo.record(res.transfers)
+        self.last_step_bytes = res.bytes_sent
+        self.last_step_messages = res.messages
+        self.last_step_slabs = res.slabs
+        tel.inc("comm.bytes_sent", res.bytes_sent)
+        tel.inc("comm.messages", res.messages)
+        tel.inc("comm.slabs", res.slabs)
+
+    def _step_fused(self, tel) -> None:
+        """One fused step: a single executor round-trip, one barrier."""
+        res = self._run_traced(tel, "dist/step", "step")
+        self._record_comm(tel, res)
+        for name, seconds in res.phase_seconds.items():
+            self._accumulate(name, seconds)
+            if tel.enabled:
+                tel.record_rank_seconds(f"dist/{name}", seconds)
+        busy = sum(res.seconds_by_rank.values())
+        wait = sum(res.wait_seconds)
+        eff = 1.0 - wait / (busy + wait) if busy + wait > 0.0 else 1.0
+        self.last_overlap_efficiency = eff
+        tel.gauge("dist.overlap_efficiency").set(eff)
+
+    def _step_barriered(self, tel) -> None:
+        """One barriered step: three executor round-trips."""
+        if self.halo_mode == "recompute":
+            # Pre-exchange f, then collide interior + ghost rim: the
+            # rim's post-collision values are recomputed locally
+            # instead of communicated (pointwise collide makes them
+            # bit-identical to the neighbor's own results).
+            res_halo = self._run_traced(tel, "dist/halo", "halo_f")
+            res_collide = self._run_traced(tel, "dist/collide", "collide")
+        else:
+            res_collide = self._run_traced(tel, "dist/collide", "collide")
+            res_halo = self._run_traced(tel, "dist/halo", "halo_post")
+        res_stream = self._run_traced(tel, "dist/stream", "stream")
+
+        self._record_comm(tel, res_halo)
+        self._accumulate("collide", res_collide.seconds_by_rank)
+        self._accumulate("halo", res_halo.seconds_by_rank)
+        self._accumulate("stream", res_stream.seconds_by_rank)
+        if tel.enabled:
+            tel.record_rank_seconds(
+                "dist/collide", res_collide.seconds_by_rank
+            )
+            tel.record_rank_seconds("dist/halo", res_halo.seconds_by_rank)
+            tel.record_rank_seconds(
+                "dist/stream", res_stream.seconds_by_rank
+            )
 
     def step(self, n: int = 1) -> None:
         """Advance the lattice by ``n`` time steps."""
         tel = get_telemetry()
         for _ in range(n):
-            if self.halo_mode == "recompute":
-                # Pre-exchange f, then collide interior + ghost rim: the
-                # rim's post-collision values are recomputed locally
-                # instead of communicated (pointwise collide makes them
-                # bit-identical to the neighbor's own results).
-                res_halo = self._run_traced(tel, "dist/halo", "halo_f")
-                res_collide = self._run_traced(tel, "dist/collide", "collide")
+            if self.overlap:
+                self._step_fused(tel)
             else:
-                res_collide = self._run_traced(tel, "dist/collide", "collide")
-                res_halo = self._run_traced(tel, "dist/halo", "halo_post")
-            res_stream = self._run_traced(tel, "dist/stream", "stream")
-
-            self.halo.record(res_halo.transfers)
-            self.last_step_bytes = res_halo.bytes_sent
-            self.last_step_messages = res_halo.messages
-            tel.inc("comm.bytes_sent", res_halo.bytes_sent)
-            tel.inc("comm.messages", res_halo.messages)
-            self._accumulate("collide", res_collide.seconds_by_rank)
-            self._accumulate("halo", res_halo.seconds_by_rank)
-            self._accumulate("stream", res_stream.seconds_by_rank)
-            if tel.enabled:
-                tel.record_rank_seconds(
-                    "dist/collide", res_collide.seconds_by_rank
-                )
-                tel.record_rank_seconds("dist/halo", res_halo.seconds_by_rank)
-                tel.record_rank_seconds(
-                    "dist/stream", res_stream.seconds_by_rank
-                )
+                self._step_barriered(tel)
             self.step_count += 1
 
     # ------------------------------------------------------------------
@@ -206,6 +379,20 @@ class DistributedLBMSolver:
         if steps == 0:
             return 0.0
         return self.halo.counters.bytes_sent / steps
+
+    def rebalance_hint(self) -> list:
+        """Per-axis split weights from the measured per-rank seconds.
+
+        Sums :attr:`rank_phase_seconds` across phases and folds the
+        totals into :meth:`BlockDecomposition.rebalance_hint` — feed the
+        result to a fresh decomposition's ``weights`` to move planes
+        toward the measured-slow ranks.
+        """
+        totals: dict[int, float] = {}
+        for acc in self.rank_phase_seconds.values():
+            for rank, seconds in acc.items():
+                totals[rank] = totals.get(rank, 0.0) + seconds
+        return self.decomp.rebalance_hint(totals)
 
     def reset_counters(self) -> None:
         """Zero comm counters and per-rank timers for a new bench phase.
@@ -218,6 +405,7 @@ class DistributedLBMSolver:
         self._steps_at_reset = self.step_count
         self.last_step_bytes = 0
         self.last_step_messages = 0
+        self.last_step_slabs = 0
         for acc in self.rank_phase_seconds.values():
             acc.clear()
 

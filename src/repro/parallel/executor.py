@@ -1,7 +1,7 @@
 """Executor backends for the block-decomposed LBM runtime.
 
-The distributed step is three rank-parallel phases with a barrier after
-each one:
+The barriered distributed step is three rank-parallel phases with a
+barrier after each one:
 
 * ``collide``    — BGK-collide each rank's full padded block (reads own
   ``f``, writes own ``post``);
@@ -9,6 +9,17 @@ each one:
   neighbors' interiors (reads neighbor interiors, writes own rim);
 * ``stream``     — pull-stream each rank's interior from its padded
   ``post`` (reads own ``post``, writes own ``f`` interior).
+
+The fused ``step`` phase collapses those into ONE executor round-trip
+with a single worker-side barrier: in exchange mode every rank collides
+its one-node rim first, then — after the barrier guarantees all rims are
+posted — fills its halo (the packed rim ships while other chunks are
+still deep in their interior collide), collides the deep interior, and
+streams; in recompute mode the pre-collision ``f`` rim is exchanged
+first, then the full collide+stream runs behind the barrier.  Race
+freedom is unchanged: the halo fill reads only neighbor *rim-interior*
+layers written before the barrier, and the post-barrier writes touch
+only deep-interior ``post`` and own ``f``.
 
 Every phase is race-free across ranks (disjoint write sets, and reads
 never overlap another rank's writes within a phase), so the same kernels
@@ -34,6 +45,7 @@ backend).
 from __future__ import annotations
 
 import os
+import threading
 import weakref
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -45,16 +57,22 @@ from multiprocessing import shared_memory
 import numpy as np
 
 from ..kernels import get_kernel_table, resolve_kernels
-from ..lbm.collision import CollisionScratch
+from ..lbm.boundaries import apply_bounce_back
+from ..lbm.collision import CollisionScratch, moments
 from ..lbm.lattice import D3Q19
+from ..lbm.streaming import _INTERIOR, padded_upwind_solid_masks
 from .decomposition import BlockDecomposition
 from .halo import fill_rank_halo
 
 #: Supported executor backends, in increasing order of machinery.
 BACKENDS = ("serial", "threads", "processes")
 
-#: Step phases an executor can run (halo variant depends on the mode).
-PHASES = ("collide", "halo_f", "halo_post", "stream")
+#: Step phases an executor can run (halo variant depends on the mode);
+#: ``step`` is the fused single-round-trip pipeline.
+PHASES = ("collide", "halo_f", "halo_post", "stream", "step")
+
+#: Sub-phase names the fused ``step`` reports per-rank seconds under.
+STEP_SUBPHASES = ("collide", "halo", "stream")
 
 
 def resolve_backend(
@@ -166,18 +184,48 @@ class ChunkRunner:
     :class:`~repro.lbm.collision.CollisionScratch` per distinct padded
     shape — chunks run their ranks sequentially, so scratch is reused
     across same-shaped blocks without races).
+
+    ``pack`` enables direction-aware packing of post-collision halo
+    fills (the ``f`` pre-exchange of recompute mode always ships the
+    full rim it needs).  ``solid`` maps rank -> padded rank-local solid
+    array; when present, halfway bounce-back follows every stream so
+    walled lattices run distributed.
     """
 
     def __init__(self, ranks: list[int], decomp: BlockDecomposition,
-                 tau: float, kernels: str | None = None):
+                 tau: float, kernels: str | None = None,
+                 halo_mode: str = "exchange", pack: bool = False,
+                 solid: dict[int, np.ndarray] | None = None):
         self.ranks = list(ranks)
         self.decomp = decomp
         self.tau = float(tau)
         self.kernels = resolve_kernels(kernels)
         table = get_kernel_table(self.kernels)
         self._collide = table["collide_bgk"]
+        self._collide_rim = table["collide_bgk_rim"]
+        self._collide_interior = table["collide_bgk_interior"]
         self._stream_padded = table["stream_pull_padded"]
+        self.halo_mode = halo_mode
+        self.pack = bool(pack)
+        self.solid = solid
+        self._masks: dict[int, np.ndarray] = {}
         self._scratch: dict[tuple, CollisionScratch] = {}
+        #: Per-rank cached full-block ``(rho, mom)`` buffers for the
+        #: fused split schedule (the moment matmul's BLAS rounding is
+        #: column-count-dependent, so rim and interior collides must
+        #: share ONE full-block moment pass to stay bitwise-equal to
+        #: the barriered full-block collide).
+        self._moments: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+
+    def _moments_for(self, r: int, f: np.ndarray):
+        bufs = self._moments.get(r)
+        if bufs is None or bufs[0].shape != f.shape[1:] \
+                or bufs[0].dtype != f.dtype:
+            bufs = self._moments[r] = (
+                np.empty(f.shape[1:], dtype=f.dtype),
+                np.empty((3,) + f.shape[1:], dtype=f.dtype),
+            )
+        return moments(f, out_rho=bufs[0], out_mom=bufs[1])
 
     def _scratch_for(
         self, shape: tuple[int, ...], dtype=np.float64
@@ -188,14 +236,28 @@ class ChunkRunner:
             sc = self._scratch[key] = CollisionScratch(shape, dtype=dtype)
         return sc
 
+    def _stream(self, r: int, f_arrs, post_arrs) -> None:
+        """Pull-stream one rank's interior, then bounce back at walls."""
+        self._stream_padded(post_arrs[r], out=f_arrs[r])
+        if self.solid is None:
+            return
+        solid_padded = self.solid.get(r)
+        if solid_padded is None:
+            return
+        masks = self._masks.get(r)
+        if masks is None:
+            masks = self._masks[r] = padded_upwind_solid_masks(solid_padded)
+        idx = (slice(None),) + _INTERIOR
+        apply_bounce_back(f_arrs[r][idx], post_arrs[r][idx], masks)
+
     def run(
         self,
         phase: str,
         f_arrs: list[np.ndarray],
         post_arrs: list[np.ndarray],
         parent_span: int | None = None,
-    ) -> tuple[dict[int, float], list[tuple[int, int]], list[tuple]]:
-        """Run one phase over the chunk's ranks.
+    ) -> tuple[dict[int, float], list[tuple[int, int, int]], list[tuple]]:
+        """Run one barriered phase over the chunk's ranks.
 
         Returns per-rank wall seconds, the halo transfer records (empty
         for compute phases), and — when the driver passed its trace
@@ -204,7 +266,7 @@ class ChunkRunner:
         driver can merge them into its timeline.
         """
         per_rank: dict[int, float] = {}
-        transfers: list[tuple[int, int]] = []
+        transfers: list[tuple[int, int, int]] = []
         spans: list[tuple] = []
         for r in self.ranks:
             t0 = perf_counter()
@@ -226,9 +288,11 @@ class ChunkRunner:
             elif phase == "halo_f":
                 transfers.extend(fill_rank_halo(r, f_arrs, self.decomp))
             elif phase == "halo_post":
-                transfers.extend(fill_rank_halo(r, post_arrs, self.decomp))
+                transfers.extend(
+                    fill_rank_halo(r, post_arrs, self.decomp, pack=self.pack)
+                )
             elif phase == "stream":
-                self._stream_padded(post_arrs[r], out=f_arrs[r])
+                self._stream(r, f_arrs, post_arrs)
             else:
                 raise ValueError(f"unknown phase {phase!r}")
             t1 = perf_counter()
@@ -236,6 +300,102 @@ class ChunkRunner:
             if parent_span is not None:
                 spans.append((r, parent_span, t0, t1))
         return per_rank, transfers, spans
+
+    def run_step(
+        self,
+        f_arrs: list[np.ndarray],
+        post_arrs: list[np.ndarray],
+        parent_span: int | None = None,
+        barrier=None,
+    ) -> tuple[dict[int, float], list[tuple[int, int, int]], list[tuple],
+               dict[str, dict[int, float]], float]:
+        """Run one fused LBM step over the chunk's ranks.
+
+        The single ``barrier`` wait separates the pre-exchange writes
+        (rim collide in exchange mode, ``f`` rim fill in recompute mode)
+        from the reads that depend on *other* chunks having finished
+        theirs.  Returns ``(seconds_by_rank, transfers, spans,
+        per_subphase_seconds, barrier_wait_seconds)``; spans carry the
+        sub-phase name as a 5th element.
+        """
+        per_phase: dict[str, dict[int, float]] = {
+            name: {} for name in STEP_SUBPHASES
+        }
+        transfers: list[tuple[int, int, int]] = []
+        spans: list[tuple] = []
+
+        def mark(r: int, name: str, t0: float, t1: float) -> None:
+            acc = per_phase[name]
+            acc[r] = acc.get(r, 0.0) + (t1 - t0)
+            if parent_span is not None:
+                spans.append((r, parent_span, t0, t1, name))
+
+        if self.halo_mode == "exchange":
+            # Rim first: its post-collision values are all any neighbor
+            # ever reads, so the exchange can start as soon as every
+            # chunk clears the barrier — while interiors still collide.
+            for r in self.ranks:
+                t0 = perf_counter()
+                self._collide_rim(
+                    f_arrs[r], self.tau, out=post_arrs[r],
+                    scratch_for=self._scratch_for, collide=self._collide,
+                    moments_in=self._moments_for(r, f_arrs[r]),
+                )
+                mark(r, "collide", t0, perf_counter())
+            wait_s = self._barrier_wait(barrier)
+            for r in self.ranks:
+                t0 = perf_counter()
+                transfers.extend(
+                    fill_rank_halo(r, post_arrs, self.decomp, pack=self.pack)
+                )
+                t1 = perf_counter()
+                mark(r, "halo", t0, t1)
+                self._collide_interior(
+                    f_arrs[r], self.tau, out=post_arrs[r],
+                    scratch_for=self._scratch_for, collide=self._collide,
+                    moments_in=self._moments[r],
+                )
+                t2 = perf_counter()
+                mark(r, "collide", t1, t2)
+                self._stream(r, f_arrs, post_arrs)
+                mark(r, "stream", t2, perf_counter())
+        elif self.halo_mode == "recompute":
+            # Pre-exchange the full f rim, then collide everything
+            # (ghost rim included — the recompute trick) and stream.
+            # The barrier keeps this step's stream writes off the f
+            # rim-interior layers other chunks are still reading.
+            for r in self.ranks:
+                t0 = perf_counter()
+                transfers.extend(fill_rank_halo(r, f_arrs, self.decomp))
+                mark(r, "halo", t0, perf_counter())
+            wait_s = self._barrier_wait(barrier)
+            for r in self.ranks:
+                t0 = perf_counter()
+                self._collide(
+                    f_arrs[r], self.tau, out=post_arrs[r],
+                    scratch=self._scratch_for(
+                        f_arrs[r].shape[1:], f_arrs[r].dtype
+                    ),
+                )
+                t1 = perf_counter()
+                mark(r, "collide", t0, t1)
+                self._stream(r, f_arrs, post_arrs)
+                mark(r, "stream", t1, perf_counter())
+        else:
+            raise ValueError(f"unknown halo mode {self.halo_mode!r}")
+        seconds = {
+            r: sum(per_phase[name].get(r, 0.0) for name in STEP_SUBPHASES)
+            for r in self.ranks
+        }
+        return seconds, transfers, spans, per_phase, wait_s
+
+    @staticmethod
+    def _barrier_wait(barrier) -> float:
+        if barrier is None:
+            return 0.0
+        t0 = perf_counter()
+        barrier.wait()
+        return perf_counter() - t0
 
 
 def _chunk_ranks(n_tasks: int, n_workers: int) -> list[list[int]]:
@@ -255,17 +415,29 @@ class PhaseResult:
     """Aggregated outcome of one rank-parallel phase."""
 
     seconds_by_rank: dict[int, float] = field(default_factory=dict)
-    transfers: list[tuple[int, int]] = field(default_factory=list)
-    #: ``(rank, parent_span_id, t0, t1)`` worker intervals; populated
-    #: only when the driver requested tracing for the phase.
+    #: ``(dst_rank, src_rank, nbytes)`` halo slab records.
+    transfers: list[tuple[int, int, int]] = field(default_factory=list)
+    #: ``(rank, parent_span_id, t0, t1[, subphase])`` worker intervals;
+    #: populated only when the driver requested tracing for the phase.
     spans: list[tuple] = field(default_factory=list)
+    #: Fused-step only: per-sub-phase per-rank seconds
+    #: (``{"collide"|"halo"|"stream": {rank: s}}``).
+    phase_seconds: dict[str, dict[int, float]] | None = None
+    #: Fused-step only: per-chunk barrier wait seconds.
+    wait_seconds: list[float] = field(default_factory=list)
 
     @property
     def bytes_sent(self) -> int:
-        return sum(b for _, b in self.transfers)
+        return sum(t[2] for t in self.transfers)
 
     @property
     def messages(self) -> int:
+        """Coalesced per-neighbor-pair message count."""
+        return len({(t[0], t[1]) for t in self.transfers})
+
+    @property
+    def slabs(self) -> int:
+        """Raw q-direction slab copy count (pre-coalescing)."""
         return len(self.transfers)
 
 
@@ -273,25 +445,67 @@ class PhaseResult:
 # Executors
 
 
+def _merge_step_reply(result: PhaseResult, reply: tuple) -> None:
+    """Fold one chunk's fused-step reply into the aggregate result."""
+    per_rank, transfers, spans, per_phase, wait_s = reply
+    result.seconds_by_rank.update(per_rank)
+    result.transfers.extend(transfers)
+    result.spans.extend(spans)
+    if result.phase_seconds is None:
+        result.phase_seconds = {name: {} for name in STEP_SUBPHASES}
+    for name, acc in per_phase.items():
+        result.phase_seconds[name].update(acc)
+    result.wait_seconds.append(wait_s)
+
+
 class SerialExecutor:
-    """Runs every rank in the calling thread (the virtual runtime)."""
+    """Runs every rank in the calling thread (the virtual runtime).
+
+    ``begin_phase`` executes synchronously (there is nothing to overlap
+    with); the begin/finish split exists so all three backends share one
+    protocol.
+    """
 
     backend = "serial"
 
     def __init__(self, blocks: RankBlocks, tau: float, n_workers: int = 1,
-                 kernels: str | None = None):
+                 kernels: str | None = None, halo_mode: str = "exchange",
+                 pack: bool = False,
+                 solid: dict[int, np.ndarray] | None = None):
         self.blocks = blocks
         self.n_workers = 1
         self._runner = ChunkRunner(
-            list(range(blocks.decomp.n_tasks)), blocks.decomp, tau, kernels
+            list(range(blocks.decomp.n_tasks)), blocks.decomp, tau, kernels,
+            halo_mode=halo_mode, pack=pack, solid=solid,
         )
+        self._pending: PhaseResult | None = None
+
+    def begin_phase(self, phase: str,
+                    parent_span: int | None = None) -> None:
+        if self._pending is not None:
+            raise RuntimeError("a phase is already in flight")
+        if phase == "step":
+            result = PhaseResult()
+            _merge_step_reply(result, self._runner.run_step(
+                self.blocks.f, self.blocks.post, parent_span, None
+            ))
+        else:
+            per_rank, transfers, spans = self._runner.run(
+                phase, self.blocks.f, self.blocks.post, parent_span
+            )
+            result = PhaseResult(per_rank, transfers, spans)
+        self._pending = result
+
+    def finish_phase(self) -> PhaseResult:
+        if self._pending is None:
+            raise RuntimeError("no phase in flight")
+        result, self._pending = self._pending, None
+        return result
 
     def run_phase(self, phase: str,
                   parent_span: int | None = None) -> PhaseResult:
-        per_rank, transfers, spans = self._runner.run(
-            phase, self.blocks.f, self.blocks.post, parent_span
-        )
-        return PhaseResult(per_rank, transfers, spans)
+        self.begin_phase(phase, parent_span)
+        return self.finish_phase()
 
     def close(self) -> None:
         pass
@@ -303,32 +517,61 @@ class ThreadExecutor:
     backend = "threads"
 
     def __init__(self, blocks: RankBlocks, tau: float, n_workers: int,
-                 kernels: str | None = None):
+                 kernels: str | None = None, halo_mode: str = "exchange",
+                 pack: bool = False,
+                 solid: dict[int, np.ndarray] | None = None):
         self.blocks = blocks
         self._runners = [
-            ChunkRunner(ranks, blocks.decomp, tau, kernels)
+            ChunkRunner(ranks, blocks.decomp, tau, kernels,
+                        halo_mode=halo_mode, pack=pack, solid=solid)
             for ranks in _chunk_ranks(blocks.decomp.n_tasks, n_workers)
         ]
         self.n_workers = len(self._runners)
+        self._barrier = threading.Barrier(self.n_workers)
         self._pool = ThreadPoolExecutor(
             max_workers=self.n_workers, thread_name_prefix="repro-rank"
         )
+        self._pending: tuple[str, list] | None = None
         self._finalizer = weakref.finalize(self, self._pool.shutdown, False)
+
+    def begin_phase(self, phase: str,
+                    parent_span: int | None = None) -> None:
+        if self._pending is not None:
+            raise RuntimeError("a phase is already in flight")
+        if phase == "step":
+            futures = [
+                self._pool.submit(rn.run_step, self.blocks.f,
+                                  self.blocks.post, parent_span,
+                                  self._barrier)
+                for rn in self._runners
+            ]
+        else:
+            futures = [
+                self._pool.submit(rn.run, phase, self.blocks.f,
+                                  self.blocks.post, parent_span)
+                for rn in self._runners
+            ]
+        self._pending = (phase, futures)
+
+    def finish_phase(self) -> PhaseResult:
+        if self._pending is None:
+            raise RuntimeError("no phase in flight")
+        (phase, futures), self._pending = self._pending, None
+        result = PhaseResult()
+        for fut in futures:  # barrier: a phase ends when every chunk has
+            if phase == "step":
+                _merge_step_reply(result, fut.result())
+            else:
+                per_rank, transfers, spans = fut.result()
+                result.seconds_by_rank.update(per_rank)
+                result.transfers.extend(transfers)
+                result.spans.extend(spans)
+        return result
 
     def run_phase(self, phase: str,
                   parent_span: int | None = None) -> PhaseResult:
-        futures = [
-            self._pool.submit(rn.run, phase, self.blocks.f,
-                              self.blocks.post, parent_span)
-            for rn in self._runners
-        ]
-        result = PhaseResult()
-        for fut in futures:  # barrier: a phase ends when every chunk has
-            per_rank, transfers, spans = fut.result()
-            result.seconds_by_rank.update(per_rank)
-            result.transfers.extend(transfers)
-            result.spans.extend(spans)
-        return result
+        self.begin_phase(phase, parent_span)
+        return self.finish_phase()
 
     def close(self) -> None:
         self._pool.shutdown(wait=True)
@@ -349,15 +592,19 @@ def _attach_segment(name: str) -> shared_memory.SharedMemory:
 
 
 def _worker_main(conn, ranks, segment_names, decomp, tau,
-                 kernels=None, dtype=np.float64) -> None:
+                 kernels=None, dtype=np.float64, halo_mode="exchange",
+                 pack=False, solid=None, barrier=None) -> None:
     """Worker loop: attach the shared blocks, serve phase commands.
 
     One worker is pinned to its rank chunk for the life of the run; the
     parent acts as the barrier by collecting every worker's reply before
-    issuing the next phase.  ``kernels`` arrives pre-resolved from the
-    parent so every worker runs the same kernels backend the parent
-    selected (the child re-resolves it against its own numba
-    availability, falling back to NumPy rather than dying).
+    issuing the next phase — except for the fused ``step`` command,
+    whose single mid-step synchronization is the shared ``barrier``
+    (parties = worker count), so a whole step costs ONE pipe round-trip.
+    ``kernels`` arrives pre-resolved from the parent so every worker
+    runs the same kernels backend the parent selected (the child
+    re-resolves it against its own numba availability, falling back to
+    NumPy rather than dying).
     """
     segments = []
     pairs: list[np.ndarray] = []
@@ -375,7 +622,8 @@ def _worker_main(conn, ranks, segment_names, decomp, tau,
             pairs.append(pair)
             f_arrs.append(pair[0])
             post_arrs.append(pair[1])
-        runner = ChunkRunner(ranks, decomp, tau, kernels)
+        runner = ChunkRunner(ranks, decomp, tau, kernels,
+                             halo_mode=halo_mode, pack=pack, solid=solid)
         while True:
             msg = conn.recv()
             if msg == "stop":
@@ -387,10 +635,15 @@ def _worker_main(conn, ranks, segment_names, decomp, tau,
                 cmd, parent_span = msg
             else:
                 cmd, parent_span = msg, None
-            per_rank, transfers, spans = runner.run(
-                cmd, f_arrs, post_arrs, parent_span
-            )
-            conn.send((per_rank, transfers, spans))
+            if cmd == "step":
+                conn.send(runner.run_step(
+                    f_arrs, post_arrs, parent_span, barrier
+                ))
+            else:
+                per_rank, transfers, spans = runner.run(
+                    cmd, f_arrs, post_arrs, parent_span
+                )
+                conn.send((per_rank, transfers, spans))
     except (EOFError, KeyboardInterrupt):
         pass
     finally:
@@ -430,7 +683,9 @@ class ProcessExecutor:
     backend = "processes"
 
     def __init__(self, blocks: RankBlocks, tau: float, n_workers: int,
-                 kernels: str | None = None):
+                 kernels: str | None = None, halo_mode: str = "exchange",
+                 pack: bool = False,
+                 solid: dict[int, np.ndarray] | None = None):
         if not blocks.shared:
             raise ValueError("processes backend requires shared rank blocks")
         self.blocks = blocks
@@ -439,14 +694,25 @@ class ProcessExecutor:
         ctx = mp.get_context("fork" if "fork" in methods else "spawn")
         chunks = _chunk_ranks(blocks.decomp.n_tasks, n_workers)
         self.n_workers = len(chunks)
+        #: Every Pipe command name issued, in order — the round-trip
+        #: ledger the fused-pipeline acceptance check reads (3 commands
+        #: per barriered step vs 1 per fused step).
+        self.command_log: list[str] = []
+        self._barrier = ctx.Barrier(self.n_workers)
+        self._pending: int = 0
         self._procs = []
         self._conns = []
         for ranks in chunks:
             parent_conn, child_conn = ctx.Pipe()
+            chunk_solid = (
+                None if solid is None
+                else {r: solid[r] for r in ranks if r in solid}
+            )
             proc = ctx.Process(
                 target=_worker_main,
                 args=(child_conn, ranks, blocks.segment_names,
-                      blocks.decomp, tau, kernels, blocks.dtype),
+                      blocks.decomp, tau, kernels, blocks.dtype,
+                      halo_mode, pack, chunk_solid, self._barrier),
                 daemon=True,
                 name=f"repro-rank-{ranks[0]}-{ranks[-1]}",
             )
@@ -458,18 +724,42 @@ class ProcessExecutor:
             self, _shutdown_workers, self._procs, self._conns
         )
 
-    def run_phase(self, phase: str,
-                  parent_span: int | None = None) -> PhaseResult:
+    def begin_phase(self, phase: str,
+                    parent_span: int | None = None) -> None:
+        """Issue the phase command to every worker without blocking.
+
+        All pipe sends go out before any reply is read, so the workers
+        run the phase concurrently; :meth:`finish_phase` collects.
+        """
+        if self._pending:
+            raise RuntimeError("a phase is already in flight")
         msg = phase if parent_span is None else (phase, parent_span)
+        self.command_log.append(phase)
         for conn in self._conns:
             conn.send(msg)
+        self._pending = len(self._conns)
+        self._pending_phase = phase
+
+    def finish_phase(self) -> PhaseResult:
+        if not self._pending:
+            raise RuntimeError("no phase in flight")
         result = PhaseResult()
         for conn in self._conns:  # reply collection is the phase barrier
-            per_rank, transfers, spans = conn.recv()
-            result.seconds_by_rank.update(per_rank)
-            result.transfers.extend(transfers)
-            result.spans.extend(spans)
+            reply = conn.recv()
+            if self._pending_phase == "step":
+                _merge_step_reply(result, reply)
+            else:
+                per_rank, transfers, spans = reply
+                result.seconds_by_rank.update(per_rank)
+                result.transfers.extend(transfers)
+                result.spans.extend(spans)
+        self._pending = 0
         return result
+
+    def run_phase(self, phase: str,
+                  parent_span: int | None = None) -> PhaseResult:
+        self.begin_phase(phase, parent_span)
+        return self.finish_phase()
 
     def close(self) -> None:
         self._finalizer()
@@ -481,12 +771,16 @@ def make_executor(
     tau: float,
     n_workers: int,
     kernels: str | None = None,
+    halo_mode: str = "exchange",
+    pack: bool = False,
+    solid: dict[int, np.ndarray] | None = None,
 ):
     """Build the executor for a resolved backend name."""
+    kw = dict(kernels=kernels, halo_mode=halo_mode, pack=pack, solid=solid)
     if backend == "serial":
-        return SerialExecutor(blocks, tau, kernels=kernels)
+        return SerialExecutor(blocks, tau, **kw)
     if backend == "threads":
-        return ThreadExecutor(blocks, tau, n_workers, kernels=kernels)
+        return ThreadExecutor(blocks, tau, n_workers, **kw)
     if backend == "processes":
-        return ProcessExecutor(blocks, tau, n_workers, kernels=kernels)
+        return ProcessExecutor(blocks, tau, n_workers, **kw)
     raise ValueError(f"unknown backend {backend!r}; pick one of {BACKENDS}")

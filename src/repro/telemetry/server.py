@@ -101,6 +101,7 @@ def derived_metrics_text(status: dict) -> str:
         for raw, metric in (
             ("comm.bytes_sent", "repro_halo_bytes_per_s"),
             ("comm.messages", "repro_halo_messages_per_s"),
+            ("comm.slabs", "repro_halo_slabs_per_s"),
         ):
             if raw in counters:
                 lines.append(f"# TYPE {metric} gauge")

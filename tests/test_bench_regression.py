@@ -106,13 +106,32 @@ def test_normalize_config_fills_defaults_and_drops_measurements():
     cfg = reg.normalize_config(
         {"shape": [12, 12, 12], "jit_compile_s": {"collide_bgk": 1.2}}
     )
-    assert cfg == {
-        "shape": [12, 12, 12],
+    legacy_defaults = {
         "kernels": "numpy",
         "dtype": "float64",
+        "halo_pack": False,
+        "overlap": False,
+        "weighted_split": False,
+        "dims": None,
     }
-    assert reg.normalize_config(None) == {"kernels": "numpy",
-                                          "dtype": "float64"}
+    assert cfg == {"shape": [12, 12, 12], **legacy_defaults}
+    assert reg.normalize_config(None) == legacy_defaults
+
+
+def test_normalize_config_recurses_into_nested_workloads():
+    """The scaling artifact nests the Fig. 8 workload under ``weak``; an
+    old baseline without the new knobs must still match a new artifact
+    recording them explicitly as their legacy values."""
+    old = reg.normalize_config({"weak": {"block": [16, 16, 16]}})
+    new = reg.normalize_config(
+        {"weak": {"block": [16, 16, 16], "halo_pack": False,
+                  "overlap": False}}
+    )
+    assert old == new
+    packed = reg.normalize_config(
+        {"weak": {"block": [16, 16, 16], "halo_pack": True}}
+    )
+    assert packed != old
 
 
 def test_configs_match_across_artifact_generations():

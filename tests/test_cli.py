@@ -40,6 +40,38 @@ def test_scaling_measured_with_backend(capsys):
     assert "threads" in out and "speedup" in out
 
 
+def test_scaling_dims_forced(capsys):
+    assert main(["scaling", "--measured", "--shape", "8", "8", "8",
+                 "--tasks", "4", "--steps", "2", "--dims", "4x1x1"]) == 0
+    out = capsys.readouterr().out
+    assert "dims=4x1x1" in out
+
+
+def test_scaling_bad_dims_rejected(capsys):
+    for bad in ("4x1", "axbxc", "0x2x2", "4"):
+        with pytest.raises(SystemExit) as exc:
+            main(["scaling", "--measured", "--shape", "8", "8", "8",
+                  "--tasks", "4", "--dims", bad])
+        assert exc.value.code == 2
+    capsys.readouterr()
+
+
+def test_scaling_packed_fused_flags(capsys):
+    assert main(["scaling", "--measured", "--shape", "8", "8", "8",
+                 "--tasks", "2", "--steps", "2",
+                 "--halo-pack", "--overlap"]) == 0
+    out = capsys.readouterr().out
+    assert "packed" in out and "fused" in out
+    assert "msgs" in out
+
+
+def test_scaling_weighted_split_duct(capsys):
+    assert main(["scaling", "--measured", "--shape", "12", "8", "8",
+                 "--tasks", "2", "--steps", "2", "--weighted-split"]) == 0
+    out = capsys.readouterr().out
+    assert "weighted" in out
+
+
 @pytest.mark.slow
 def test_shear_command(tmp_path, capsys):
     csv = tmp_path / "profile.csv"
